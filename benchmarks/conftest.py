@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates the rows/series behind one of the paper's
+tables or figures and prints them (captured with ``pytest -s`` or in the
+terminal summary).  By default the *quick* problem sizes run so the full
+suite finishes in minutes; set ``REPRO_BENCH_FULL=1`` for the larger
+sweep used to produce EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import QUICK_SIZES, SWEEP_SIZES
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def sizes_for(workload: str):
+    """Problem-size sweep for one workload under the active mode."""
+    table = SWEEP_SIZES if FULL else QUICK_SIZES
+    return table[workload]
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled results block."""
+    print(f"\n=== {title} ===")
+    print(body)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Full-detailed GPU simulation takes seconds to minutes; calibration
+    rounds would multiply that, so every bench is single-shot.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

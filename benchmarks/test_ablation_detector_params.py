@@ -1,0 +1,66 @@
+"""Ablation: Photon detector parameter sensitivity.
+
+DESIGN.md calls out the design choices behind the stability criterion;
+this bench sweeps them on one representative workload (FIR, which only
+basic-block-sampling accelerates):
+
+* the slope threshold δ (paper: 3%) — looser δ switches earlier,
+  trading accuracy for speed;
+* the window size n (paper: 2048) — smaller windows switch earlier but
+  see less history;
+* disabling the local-optimum mean check entirely.
+"""
+
+import dataclasses
+
+from repro.core import Photon
+from repro.harness import EVAL_PHOTON, EVAL_R9NANO, format_table
+from repro.timing import simulate_kernel_detailed
+from repro.workloads import build_fir
+
+from conftest import FULL, emit
+
+SIZE = 8192 if FULL else 4096
+
+
+def test_detector_parameter_sweep(once):
+    def run_sweep():
+        full = simulate_kernel_detailed(build_fir(SIZE), EVAL_R9NANO)
+        variants = [
+            ("paper defaults", {}),
+            ("delta=1%", {"delta": 0.01}),
+            ("delta=10%", {"delta": 0.10}),
+            ("window/4", {"bb_window": EVAL_PHOTON.bb_window // 4,
+                          "warp_window": EVAL_PHOTON.warp_window // 4}),
+            ("no mean check", {"mean_check": False}),
+        ]
+        rows = []
+        for label, overrides in variants:
+            config = dataclasses.replace(EVAL_PHOTON, **overrides)
+            result = Photon(EVAL_R9NANO, config).simulate_kernel(
+                build_fir(SIZE))
+            err = (abs(full.sim_time - result.sim_time)
+                   / full.sim_time * 100)
+            rows.append((label, result.mode, err,
+                         result.detail_fraction))
+        return rows
+
+    rows = once(run_sweep)
+    emit("Ablation: Photon detector parameters on FIR",
+         format_table(("variant", "mode", "err_%", "detail_frac"), rows))
+
+    by_label = {label: (mode, err, frac) for label, mode, err, frac in rows}
+    # defaults must produce a sampled run with bounded error
+    mode, err, frac = by_label["paper defaults"]
+    assert mode != "full" and err < 30.0
+    # a looser delta still yields bounded error
+    loose_mode, loose_err, _ = by_label["delta=10%"]
+    assert loose_err < 60.0
+    # smaller windows are NOT a free win: the least-squares slope over a
+    # short window is noise-dominated (|a-1| rarely stays under delta),
+    # so the detector either switches earlier or never switches at all —
+    # motivating the paper's large default window of 2048
+    small_mode, _, small_frac = by_label["window/4"]
+    assert small_mode in ("bb", "full")
+    if small_mode == "full":
+        assert small_frac == 1.0

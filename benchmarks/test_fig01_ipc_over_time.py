@@ -1,0 +1,57 @@
+"""Figure 1: IPC over time — stabilises for ReLU, fluctuates for MM.
+
+Observation 2: methods that assume a stable IPC (PKA/TBPoint) work for
+ReLU-like kernels but not for MM-like ones.  We reproduce the two IPC
+curves and verify the paper's contrast quantitatively: MM's windowed-IPC
+coefficient of variation over the steady-state region exceeds ReLU's.
+"""
+
+import numpy as np
+
+from repro.harness import EVAL_R9NANO, series_table
+from repro.timing import simulate_kernel_detailed
+from repro.workloads import build_mm, build_relu
+
+from conftest import emit
+
+BUCKET = 200.0
+
+
+def _ipc_curve(kernel):
+    result = simulate_kernel_detailed(kernel, EVAL_R9NANO,
+                                      ipc_bucket=BUCKET)
+    series = np.array(result.meta["ipc_series"], dtype=float) / BUCKET
+    times = (np.arange(len(series)) + 0.5) * BUCKET
+    return times, series
+
+
+def _steady_cv(series):
+    """CV of the middle 60% of the run (skips ramp-up and drain)."""
+    n = len(series)
+    window = series[int(0.2 * n): int(0.8 * n)]
+    return float(window.std() / max(window.mean(), 1e-9))
+
+
+def test_fig01(once):
+    def run_both():
+        relu = _ipc_curve(build_relu(4096))
+        mm = _ipc_curve(build_mm(576))
+        return relu, mm
+
+    (relu_t, relu_ipc), (mm_t, mm_ipc) = once(run_both)
+
+    stride = max(1, len(relu_t) // 20)
+    emit("Figure 1a: ReLU IPC over time (subsampled)",
+         series_table("relu", relu_t[::stride], relu_ipc[::stride],
+                      "time_cycles", "ipc"))
+    stride = max(1, len(mm_t) // 20)
+    emit("Figure 1b: MM IPC over time (subsampled)",
+         series_table("mm", mm_t[::stride], mm_ipc[::stride],
+                      "time_cycles", "ipc"))
+
+    relu_cv = _steady_cv(relu_ipc)
+    mm_cv = _steady_cv(mm_ipc)
+    emit("Figure 1 summary",
+         f"steady-state IPC CV: relu={relu_cv:.3f}  mm={mm_cv:.3f}")
+    # the paper's contrast: MM's IPC fluctuates more than ReLU's
+    assert mm_cv > relu_cv

@@ -1,0 +1,59 @@
+"""Figure 6: VGG-16 kernels clustered by GPU BBV have similar IPC.
+
+Observation 5: kernels whose GPU BBVs are close exhibit close IPC — the
+basis of kernel-sampling.  We run every VGG-16 kernel fully detailed,
+cluster the launches by GPU-BBV distance, and check that intra-cluster
+IPC spread is much smaller than the global spread.
+"""
+
+import numpy as np
+
+from repro.core import BBVProjector, PhotonConfig, analyze_kernel, \
+    cluster_by_distance
+from repro.harness import EVAL_PHOTON, EVAL_R9NANO, format_table
+from repro.timing import MemoryHierarchy, simulate_kernel_detailed
+from repro.workloads import build_vgg
+
+from conftest import emit
+
+
+def test_fig06(once):
+    app = build_vgg(16)
+    projector = BBVProjector(EVAL_PHOTON.bbv_dim)
+
+    def run_all():
+        hierarchy = MemoryHierarchy(EVAL_R9NANO)
+        rows = []
+        for kernel in app.kernels:
+            hierarchy.reset_timing()
+            analysis = analyze_kernel(kernel, EVAL_PHOTON, projector)
+            result = simulate_kernel_detailed(kernel, EVAL_R9NANO,
+                                              hierarchy=hierarchy)
+            ipc = result.n_insts / result.sim_time
+            rows.append((kernel.name, analysis.gpu_bbv, ipc,
+                         kernel.n_warps))
+        return rows
+
+    rows = once(run_all)
+    clusters = cluster_by_distance([bbv for _, bbv, _, _ in rows],
+                                   threshold=EVAL_PHOTON.kernel_distance)
+
+    table = [(name, cid, ipc, warps)
+             for (name, _, ipc, warps), cid in zip(rows, clusters)]
+    emit("Figure 6: VGG-16 kernel GPU-BBV clusters vs IPC",
+         format_table(("kernel", "cluster", "ipc", "warps"), table))
+
+    ipcs = np.array([ipc for _, _, ipc, _ in rows])
+    global_spread = ipcs.std()
+    intra = []
+    for cid in set(clusters):
+        members = ipcs[[i for i, c in enumerate(clusters) if c == cid]]
+        if len(members) >= 2:
+            intra.append(members.std())
+    emit("Figure 6 summary",
+         f"clusters={max(clusters) + 1} global IPC std={global_spread:.3f} "
+         f"mean intra-cluster std={np.mean(intra):.3f}")
+    assert max(clusters) + 1 >= 3  # layers are not all one blob
+    assert intra, "expected at least one multi-member cluster"
+    # kernels in the same GPU-BBV cluster have similar IPC
+    assert np.mean(intra) < 0.5 * global_spread

@@ -1,0 +1,46 @@
+"""Figure 11: warp-type distribution — all warps vs a 1% sample.
+
+For the regular application (SC) both the full population and the 1%
+sample show a single dominant warp type (warp-sampling can be enabled
+from the sample alone); for the irregular application (SpMV) neither
+shows a dominant type (warp-sampling is correctly disabled).
+"""
+
+from repro.core import BBVProjector, PhotonConfig, analyze_kernel
+from repro.harness import EVAL_PHOTON, format_table
+from repro.workloads import build_sc, build_spmv
+
+from conftest import emit
+
+
+def _rates(kernel):
+    projector = BBVProjector(EVAL_PHOTON.bbv_dim)
+    sampled = analyze_kernel(kernel, EVAL_PHOTON, projector)
+    full = analyze_kernel(
+        kernel, PhotonConfig(sample_fraction=1.0, min_sample_warps=1),
+        projector)
+    return sampled, full
+
+
+def test_fig11(once):
+    def run_both():
+        return _rates(build_sc(2048)), _rates(build_spmv(2048))
+
+    (sc_sample, sc_full), (spmv_sample, spmv_full) = once(run_both)
+
+    rows = []
+    for name, sample, full in (("SC", sc_sample, sc_full),
+                               ("SpMV", spmv_sample, spmv_full)):
+        rows.append((name, full.n_types, full.dominant_rate,
+                     sample.n_types, sample.dominant_rate))
+    emit("Figure 11: warp-type distribution, all warps vs 1% sample",
+         format_table(("app", "types (all)", "dominant (all)",
+                       "types (sample)", "dominant (sample)"), rows))
+
+    threshold = EVAL_PHOTON.dominant_warp_rate
+    # regular: dominant type detected by both views
+    assert sc_full.dominant_rate >= threshold
+    assert sc_sample.dominant_rate >= threshold
+    # irregular: no dominant type in either view
+    assert spmv_full.dominant_rate < threshold
+    assert spmv_sample.dominant_rate < threshold

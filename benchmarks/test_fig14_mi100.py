@@ -1,0 +1,28 @@
+"""Figure 14: MI100 — full detailed vs Photon.
+
+Reruns the single-kernel sweep on the MI100 configuration (Table 1) to
+show the methodology is microarchitecture independent: Photon achieves
+similar error and speedup on a different cache hierarchy/CU count
+without any reconfiguration.
+"""
+
+import pytest
+
+from repro.harness import EVAL_MI100, comparison_table, sweep_sizes
+
+from conftest import emit, sizes_for
+
+WORKLOADS = ("relu", "fir", "sc", "aes", "spmv", "mm")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig14(workload, once):
+    rows = once(sweep_sizes, workload, sizes_for(workload),
+                gpu=EVAL_MI100, methods=("photon",))
+    emit(f"Figure 14: {workload} on MI100", comparison_table(rows))
+
+    photon_rows = [r for r in rows if r.method == "photon"]
+    worst = max(r.error_pct for r in photon_rows)
+    assert worst < 50.0, f"{workload} on MI100: error {worst}%"
+    if workload in ("relu", "aes", "sc"):
+        assert worst < 15.0

@@ -1,0 +1,52 @@
+"""Figure 15: effect of the sampling levels in isolation.
+
+Runs basic-block-sampling alone, warp-sampling alone, and full Photon on
+each single-kernel workload.
+
+Shape claims checked (paper §6.2):
+  * warp-sampling alone never engages on the irregular workload (SpMV)
+    — it falls back to full detail, while BB-sampling still works;
+  * for AES (one long straight-line block) warp-sampling provides the
+    speedup;
+  * full Photon engages a sampled mode wherever any level alone does.
+"""
+
+import pytest
+
+from repro.harness import comparison_table, sweep_sizes
+
+from conftest import emit, sizes_for
+
+WORKLOADS = ("relu", "fir", "sc", "aes", "spmv", "mm")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig15(workload, once):
+    size = max(sizes_for(workload))
+    rows = once(sweep_sizes, workload, (size,),
+                methods=("bb-sampling", "warp-sampling", "photon"))
+    emit(f"Figure 15: {workload} sampling levels", comparison_table(rows))
+
+    by_method = {r.method: r for r in rows}
+    bb = by_method["bb-sampling"]
+    warp = by_method["warp-sampling"]
+    photon = by_method["photon"]
+
+    for row in (bb, warp, photon):
+        assert row.error_pct < 60.0
+
+    if workload == "spmv":
+        # no dominant warp type: warp-sampling must fall back to full
+        assert warp.mode == "full"
+        assert warp.error_pct == pytest.approx(0.0, abs=1e-9)
+    if workload == "aes":
+        # the long instruction sequence favours warp-sampling (the
+        # detector needs ~2x its window in retired warps to judge)
+        from repro.harness import EVAL_PHOTON
+
+        if warp.size >= 4 * EVAL_PHOTON.warp_window:
+            assert warp.mode == "warp"
+    # Photon samples whenever any individual level can
+    sampled_alone = bb.mode != "full" or warp.mode != "full"
+    if sampled_alone:
+        assert photon.mode != "full"

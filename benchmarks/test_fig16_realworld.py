@@ -1,0 +1,63 @@
+"""Figure 16: real-world applications — PageRank, VGG, ResNet.
+
+Full-detailed vs Photon on multi-kernel applications.  The paper's
+headline: Photon turns a 7-day ResNet-152 simulation into 1.7 hours
+(39.1x) at 10.7% error.  At our scale the *shape* claims are:
+
+  * Photon reaches large wall-time speedups on repeated-kernel apps
+    because kernel-sampling skips most launches;
+  * error stays around ~10%;
+  * the speedup grows with network depth (more repeats to skip).
+
+Set REPRO_BENCH_FULL=1 to include ResNet-101/152 and VGG-19.
+"""
+
+import pytest
+
+from repro.harness import comparison_table, run_methods_app
+from repro.workloads import build_pagerank, build_resnet, build_vgg
+
+from conftest import FULL, emit
+
+APPS = [
+    ("pr-1024", lambda: build_pagerank(1024, iterations=8)),
+    ("vgg16", lambda: build_vgg(16)),
+    ("resnet18", lambda: build_resnet(18)),
+    ("resnet50", lambda: build_resnet(50)),
+]
+if FULL:
+    APPS += [
+        ("pr-4096", lambda: build_pagerank(4096, iterations=8)),
+        ("vgg19", lambda: build_vgg(19)),
+        ("resnet34", lambda: build_resnet(34)),
+        ("resnet101", lambda: build_resnet(101)),
+        ("resnet152", lambda: build_resnet(152)),
+    ]
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name,factory", APPS,
+                         ids=[name for name, _ in APPS])
+def test_fig16(name, factory, once):
+    out = once(run_methods_app, factory, name, methods=("photon",))
+    row = out["rows"][0]
+    _RESULTS[name] = row
+    photon_res = out["photon"]
+    emit(f"Figure 16: {name}", comparison_table([row])
+         + f"\nmodes: {photon_res.mode_counts()}")
+
+    assert row.error_pct < 25.0, f"{name}: error {row.error_pct:.1f}%"
+    counts = photon_res.mode_counts()
+    assert counts.get("kernel", 0) >= 1, "kernel-sampling never engaged"
+    if name.startswith(("resnet", "pr")):
+        # repeated-kernel apps skip a large share of the work; wall
+        # speedup follows (3-7x measured) but the deterministic check is
+        # the sampled fraction
+        assert row.detail_fraction < 0.8
+        assert row.speedup > 0.8
+    if name == "resnet50" and "resnet18" in _RESULTS:
+        # deeper network -> more repeated kernels -> larger skipped
+        # fraction (the mechanism behind the paper's 39.1x ResNet-152)
+        r18 = _RESULTS["resnet18"]
+        assert row.detail_fraction <= r18.detail_fraction + 0.05

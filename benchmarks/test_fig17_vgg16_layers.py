@@ -1,0 +1,52 @@
+"""Figure 17: per-layer error and speedup on VGG-16 for kernel-sampling,
+kernel+warp-sampling, and full Photon.
+
+Shape claims (paper §6.3):
+  * kernel-sampling is the most accurate of the three configurations;
+  * adding intra-kernel levels (warp/BB) increases speedup, at some
+    cost in accuracy;
+  * whole-inference error stays moderate for all three.
+"""
+
+from repro.harness import (
+    comparison_table,
+    format_table,
+    run_methods_app,
+)
+from repro.workloads import build_vgg
+
+from conftest import emit
+
+METHODS = ("kernel-sampling", "kernel+warp", "photon")
+
+
+def test_fig17(once):
+    out = once(run_methods_app, lambda: build_vgg(16), "vgg16",
+               methods=METHODS)
+    full = out["full"]
+
+    # per-layer table (each layer is one kernel launch in our build)
+    layer_rows = []
+    for idx, full_kernel in enumerate(full.kernels):
+        row = [full_kernel.kernel_name, f"{full_kernel.sim_time:.0f}"]
+        for method in METHODS:
+            sampled = out[method].kernels[idx]
+            err = (abs(full_kernel.sim_time - sampled.sim_time)
+                   / full_kernel.sim_time * 100)
+            row.append(f"{err:.1f}% ({sampled.mode})")
+        layer_rows.append(tuple(row))
+    emit("Figure 17a: VGG-16 per-layer error",
+         format_table(("layer", "full cycles") + METHODS, layer_rows))
+    emit("Figure 17b: whole-inference results",
+         comparison_table(out["rows"]))
+
+    by_method = {r.method: r for r in out["rows"]}
+    for method in METHODS:
+        assert by_method[method].error_pct < 25.0
+    # adding intra-kernel sampling must not reduce the sampled fraction
+    assert (by_method["photon"].detail_fraction
+            <= by_method["kernel-sampling"].detail_fraction + 0.05)
+    # kernel-sampling remains the most accurate configuration (paper:
+    # 4.60% vs 8.05%) — allow a small tolerance for noise
+    assert (by_method["kernel-sampling"].error_pct
+            <= by_method["photon"].error_pct + 5.0)

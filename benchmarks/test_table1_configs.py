@@ -1,0 +1,43 @@
+"""Table 1: GPU configuration parameters for R9 Nano and MI100.
+
+Prints the configuration table and benchmarks hierarchy construction
+(the cost of instantiating the full 64-CU / 120-CU machines).
+"""
+
+from repro.config import MI100, R9_NANO
+from repro.harness import format_table
+from repro.timing import MemoryHierarchy
+
+from conftest import emit
+
+
+def test_table1(once):
+    rows = []
+    for cfg in (R9_NANO, MI100):
+        rows.append((
+            cfg.name,
+            f"{cfg.clock_ghz}GHz, {cfg.n_cu} per GPU",
+            f"{cfg.l1v.size_bytes // 1024}KB {cfg.l1v.assoc}-way "
+            f"{cfg.n_cu} per GPU",
+            f"{cfg.l1i.size_bytes // 1024}KB {cfg.l1i.assoc}-way "
+            f"{cfg.n_cu // cfg.cus_per_l1_group} per GPU",
+            f"{cfg.l1k.size_bytes // 1024}KB {cfg.l1k.assoc}-way "
+            f"{cfg.n_cu // cfg.cus_per_l1_group} per GPU",
+            f"{cfg.l2.size_bytes // 1024}KB {cfg.l2.assoc}-way "
+            f"{cfg.l2_banks} per GPU",
+            f"{cfg.dram_gb}GB",
+        ))
+    table = format_table(
+        ("GPU", "CU", "L1 Vector", "L1 Inst", "L1 Scalar", "L2/bank",
+         "DRAM"),
+        rows,
+    )
+    emit("Table 1: GPU configurations", table)
+
+    def build_both():
+        return MemoryHierarchy(R9_NANO), MemoryHierarchy(MI100)
+
+    nano, mi100 = once(build_both)
+    assert len(nano.l1v) == 64
+    assert len(mi100.l1v) == 120
+    assert len(mi100.l2_banks) == 32

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Writing your own kernel: the assembler DSL end-to-end.
+
+Shows the full user workflow for a kernel that is *not* in the built-in
+suite: write GCN-flavoured assembly with :class:`KernelBuilder`,
+allocate device memory, define the launch geometry, verify functional
+semantics against numpy, and simulate it — detailed and sampled.
+
+The kernel computes a fused `y = a*x + b` (SAXPY with a bias) with a
+bounds guard, one element per lane.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    EVAL_PHOTON,
+    EVAL_R9NANO,
+    GlobalMemory,
+    Kernel,
+    Photon,
+    simulate_kernel_detailed,
+)
+from repro.functional import FunctionalExecutor
+from repro.isa import KernelBuilder, MemAddr, s, v
+
+N_WARPS = 8192
+N = N_WARPS * 64
+A, B = 2.5, -1.0
+
+
+def build_program():
+    """saxpy_bias: y[i] = a * x[i] + b  for i < n."""
+    b = KernelBuilder("saxpy_bias")
+    b.v_lane(v(0))
+    b.s_mul(s(3), s(0), 64)
+    b.v_add(v(0), v(0), s(3))       # global element index
+    b.s_cmp_ge(s(3), s(4))          # whole warp past the end?
+    b.s_cbranch_scc1("done")
+    b.v_load(v(1), MemAddr(base=s(5), index=v(0)))
+    b.s_waitcnt()
+    b.v_fma(v(1), v(1), s(6), s(7))  # a*x + b
+    b.v_store(v(1), MemAddr(base=s(8), index=v(0)))
+    b.label("done")
+    b.s_endpgm()
+    return b.build()
+
+
+def main() -> None:
+    program = build_program()
+    print(f"program: {len(program)} instructions, "
+          f"{program.num_blocks} basic blocks")
+    print(program.listing())
+
+    memory = GlobalMemory(capacity_words=2 * N + 64)
+    rng = np.random.default_rng(0)
+    x = memory.alloc("x", rng.standard_normal(N))
+    y = memory.alloc("y", N)
+    kernel = Kernel(
+        program=program, n_warps=N_WARPS, wg_size=4, memory=memory,
+        args=lambda w: {4: N, 5: x, 6: A, 7: B, 8: y},
+        name="saxpy_bias",
+    )
+
+    # functional check against numpy
+    executor = FunctionalExecutor(kernel)
+    for warp in range(4):
+        executor.run_warp_full(warp)
+    expect = A * memory.view("x")[: 4 * 64] + B
+    assert np.allclose(memory.view("y")[: 4 * 64], expect)
+    print("\nfunctional semantics verified against numpy")
+
+    # detailed vs sampled
+    t0 = time.perf_counter()
+    full = simulate_kernel_detailed(kernel, EVAL_R9NANO)
+    full_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sampled = Photon(EVAL_R9NANO, EVAL_PHOTON).simulate_kernel(kernel)
+    sampled_wall = time.perf_counter() - t0
+    error = abs(full.sim_time - sampled.sim_time) / full.sim_time * 100
+    print(f"full:   {full.sim_time:,.0f} cycles in {full_wall:.2f}s")
+    print(f"photon: {sampled.sim_time:,.0f} cycles in {sampled_wall:.2f}s "
+          f"(mode={sampled.mode})")
+    print(f"error {error:.2f}%, speedup {full_wall / sampled_wall:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

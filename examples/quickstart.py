@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one GPU kernel fully and with Photon.
+
+Builds the ReLU kernel from the paper's benchmark suite (Table 2), runs
+it once in full-detailed mode (the MGPUSim-equivalent baseline) and once
+under Photon's three-level sampled simulation, then reports the paper's
+two metrics: sampling error of the predicted kernel execution time, and
+host wall-time speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+from repro import EVAL_PHOTON, EVAL_R9NANO, Photon, simulate_kernel_detailed
+from repro.workloads import build_relu
+
+PROBLEM_SIZE = 8192  # warps (the paper defines problem sizes by warps)
+
+
+def main() -> None:
+    print(f"ReLU, {PROBLEM_SIZE} warps "
+          f"({PROBLEM_SIZE * 64:,} elements), GPU: {EVAL_R9NANO.name}")
+
+    # --- full detailed simulation (the baseline) -----------------------
+    t0 = time.perf_counter()
+    full = simulate_kernel_detailed(build_relu(PROBLEM_SIZE), EVAL_R9NANO)
+    full_wall = time.perf_counter() - t0
+    print(f"\nfull detailed: {full.sim_time:,.0f} cycles "
+          f"({full.n_insts:,} instructions, {full_wall:.2f}s wall)")
+
+    # --- Photon sampled simulation -------------------------------------
+    photon = Photon(EVAL_R9NANO, EVAL_PHOTON)
+    t0 = time.perf_counter()
+    sampled = photon.simulate_kernel(build_relu(PROBLEM_SIZE))
+    sampled_wall = time.perf_counter() - t0
+    print(f"photon:        {sampled.sim_time:,.0f} cycles "
+          f"(mode={sampled.mode}, "
+          f"{sampled.detail_fraction:.0%} simulated in detail, "
+          f"{sampled_wall:.2f}s wall)")
+
+    # --- the paper's metrics --------------------------------------------
+    error = abs(full.sim_time - sampled.sim_time) / full.sim_time * 100
+    print(f"\nsampling error: {error:.2f}%")
+    print(f"wall-time speedup: {full_wall / sampled_wall:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Export the data behind every reproduced figure as CSV files.
+
+Mirrors the paper artifact's ``testallbench.py -check`` step, which
+exports ``r9nano.xlsx`` / ``mi100.xlsx`` / per-app files for the plot
+scripts.  Here each figure gets one CSV under ``figures_data/``:
+
+    python scripts/export_figures.py          # quick tier
+    python scripts/export_figures.py --full   # calibration tier
+
+The CSVs contain exactly the rows the benches print; plot with any tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.harness import (
+    EVAL_MI100,
+    QUICK_SIZES,
+    SWEEP_SIZES,
+    run_methods_app,
+    sweep_sizes,
+)
+from repro.workloads import build_pagerank, build_resnet, build_vgg
+
+WORKLOADS = ("relu", "fir", "sc", "aes", "spmv", "mm")
+FIELDS = ("workload", "size", "method", "sim_time", "error_pct",
+          "wall_seconds", "speedup", "mode", "detail_fraction")
+
+
+def _write(path: Path, rows) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(FIELDS)
+        for row in rows:
+            writer.writerow([
+                row.workload, row.size, row.method,
+                f"{row.sampled_time:.2f}", f"{row.error_pct:.3f}",
+                f"{row.sampled_wall:.4f}", f"{row.speedup:.3f}",
+                row.mode, f"{row.detail_fraction:.4f}",
+            ])
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true",
+                        help="use the calibration-tier problem sizes")
+    parser.add_argument("--out", default="figures_data", type=Path)
+    args = parser.parse_args(argv)
+    sizes = SWEEP_SIZES if args.full else QUICK_SIZES
+    out = args.out
+
+    # Figure 13: R9 Nano, full vs PKA vs Photon
+    rows = []
+    for workload in WORKLOADS:
+        print(f"fig13: {workload} ...", flush=True)
+        rows += sweep_sizes(workload, sizes[workload],
+                            methods=("pka", "photon"))
+    _write(out / "fig13_r9nano.csv", rows)
+
+    # Figure 14: MI100, full vs Photon
+    rows = []
+    for workload in WORKLOADS:
+        print(f"fig14: {workload} ...", flush=True)
+        rows += sweep_sizes(workload, sizes[workload], gpu=EVAL_MI100,
+                            methods=("photon",))
+    _write(out / "fig14_mi100.csv", rows)
+
+    # Figure 15: sampling-level ablation at the largest size
+    rows = []
+    for workload in WORKLOADS:
+        print(f"fig15: {workload} ...", flush=True)
+        rows += sweep_sizes(
+            workload, (max(sizes[workload]),),
+            methods=("bb-sampling", "warp-sampling", "photon"))
+    _write(out / "fig15_levels.csv", rows)
+
+    # Figure 16: real-world applications
+    apps = [("pr-1024", lambda: build_pagerank(1024, iterations=8)),
+            ("vgg16", lambda: build_vgg(16)),
+            ("resnet18", lambda: build_resnet(18)),
+            ("resnet50", lambda: build_resnet(50))]
+    if args.full:
+        apps += [("vgg19", lambda: build_vgg(19)),
+                 ("resnet101", lambda: build_resnet(101)),
+                 ("resnet152", lambda: build_resnet(152))]
+    rows = []
+    for name, factory in apps:
+        print(f"fig16: {name} ...", flush=True)
+        rows += run_methods_app(factory, name, methods=("photon",))["rows"]
+    _write(out / "fig16_realworld.csv", rows)
+
+    # Figure 17: VGG-16 level composition
+    print("fig17: vgg16 levels ...", flush=True)
+    out17 = run_methods_app(
+        lambda: build_vgg(16), "vgg16",
+        methods=("kernel-sampling", "kernel+warp", "photon"))
+    _write(out / "fig17_vgg16.csv", out17["rows"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

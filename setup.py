@@ -1,0 +1,8 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments lacking bdist_wheel.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Baseline sampled-simulation methodologies for comparison.
+
+PKA is the paper's head-to-head baseline (Figure 13); GT-Pin and Sieve
+are the inter-kernel-only predecessors discussed in related work.
+"""
+
+from .inter_kernel import GTPin, Sieve
+from .pka import IpcStabilityMonitor, PKA, PkaConfig, feature_distance
+from .tbpoint import TBPoint, TBPointConfig
+
+__all__ = [
+    "GTPin",
+    "IpcStabilityMonitor",
+    "PKA",
+    "PkaConfig",
+    "Sieve",
+    "TBPoint",
+    "TBPointConfig",
+    "feature_distance",
+]

@@ -1,0 +1,110 @@
+"""Command-line interface: run workloads under any methodology.
+
+Mirrors the paper artifact's ``testallbench.py`` / ``testdlapps.py``
+scripts:
+
+    python -m repro run relu --size 8192 --methods pka photon
+    python -m repro run spmv --size 4096 --gpu mi100
+    python -m repro app vgg16 --methods photon
+    python -m repro app resnet50
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config.gpu_configs import preset
+from .harness.defaults import EVAL_MI100, EVAL_PHOTON, EVAL_R9NANO
+from .harness.runner import (
+    LEVEL_METHODS,
+    run_methods_app,
+    run_methods_kernel,
+    workload_factory,
+)
+from .harness.tables import comparison_table
+from .workloads import REGISTRY, build_pagerank, build_resnet, build_vgg
+
+APP_BUILDERS = {
+    "vgg16": lambda: build_vgg(16),
+    "vgg19": lambda: build_vgg(19),
+    "resnet18": lambda: build_resnet(18),
+    "resnet34": lambda: build_resnet(34),
+    "resnet50": lambda: build_resnet(50),
+    "resnet101": lambda: build_resnet(101),
+    "resnet152": lambda: build_resnet(152),
+    "pr-1024": lambda: build_pagerank(1024, iterations=8),
+    "pr-4096": lambda: build_pagerank(4096, iterations=8),
+}
+
+_ALL_METHODS = sorted(LEVEL_METHODS) + ["pka", "sieve", "gtpin",
+                                        "tbpoint"]
+
+
+def _gpu_for(name: str):
+    if name == "r9nano":
+        return EVAL_R9NANO
+    if name == "mi100":
+        return EVAL_MI100
+    # full-size Table 1 presets on request
+    return preset(name.removeprefix("full-"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Photon sampled GPU simulation (MICRO 2023 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a single-kernel workload")
+    run.add_argument("workload", choices=sorted(REGISTRY))
+    run.add_argument("--size", type=int, default=4096,
+                     help="problem size in warps (default 4096)")
+    run.add_argument("--gpu", default="r9nano",
+                     choices=["r9nano", "mi100", "full-r9nano",
+                              "full-mi100"])
+    run.add_argument("--methods", nargs="+", default=["photon"],
+                     choices=_ALL_METHODS)
+
+    app = sub.add_parser("app", help="run a multi-kernel application")
+    app.add_argument("name", choices=sorted(APP_BUILDERS))
+    app.add_argument("--gpu", default="r9nano",
+                     choices=["r9nano", "mi100"])
+    app.add_argument("--methods", nargs="+", default=["photon"],
+                     choices=_ALL_METHODS)
+
+    sub.add_parser("list", help="list workloads, apps and methods")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("single-kernel workloads:", ", ".join(sorted(REGISTRY)))
+        print("applications:           ", ", ".join(sorted(APP_BUILDERS)))
+        print("methods:                ", ", ".join(_ALL_METHODS))
+        return 0
+
+    gpu = _gpu_for(args.gpu)
+    if args.command == "run":
+        rows = run_methods_kernel(
+            workload_factory(args.workload, args.size),
+            args.workload, args.size, gpu=gpu,
+            methods=tuple(args.methods), photon_config=EVAL_PHOTON)
+        print(comparison_table(rows))
+        return 0
+
+    out = run_methods_app(APP_BUILDERS[args.name], args.name, gpu=gpu,
+                          methods=tuple(args.methods),
+                          photon_config=EVAL_PHOTON)
+    print(comparison_table(out["rows"]))
+    for method in args.methods:
+        print(f"{method} modes: {out[method].mode_counts()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

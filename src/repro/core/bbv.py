@@ -1,0 +1,129 @@
+"""Basic Block Vectors and GPU BBVs (paper Figure 5, Observation 5).
+
+A warp's BBV counts how many instructions it executed in each static
+basic block.  Warps with identical BBVs belong to the same *warp type*.
+To keep online clustering cheap, each BBV is projected to a fixed
+dimension (16 in the paper) using a deterministic random projection —
+each basic-block PC hashes to a fixed unit direction, so projections are
+comparable across warps and across kernels.
+
+A *GPU BBV* summarises a whole kernel: warps are grouped by type, each
+type's projected BBV is weighted by its share of the kernel's warps,
+weighted vectors are sorted by descending weight, and the top-K are
+concatenated.  Kernels whose GPU BBVs are close execute similar work and
+(Observation 5) exhibit similar IPC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..isa.program import Program
+
+_PROJECTION_SEED = 0x5F0DA7A
+
+
+def _bb_direction(bb_pc: int, dim: int) -> np.ndarray:
+    """Deterministic pseudo-random unit vector for one basic block."""
+    rng = np.random.default_rng(_PROJECTION_SEED + bb_pc)
+    vec = rng.standard_normal(dim)
+    vec /= np.linalg.norm(vec)
+    return vec
+
+
+class BBVProjector:
+    """Projects sparse BB instruction counts into ``dim`` dimensions."""
+
+    def __init__(self, dim: int = 16):
+        if dim < 1:
+            raise ValueError("projection dimension must be >= 1")
+        self.dim = dim
+        self._directions: Dict[int, np.ndarray] = {}
+
+    def _direction(self, bb_pc: int) -> np.ndarray:
+        direction = self._directions.get(bb_pc)
+        if direction is None:
+            direction = _bb_direction(bb_pc, self.dim)
+            self._directions[bb_pc] = direction
+        return direction
+
+    def project(self, bb_counts: Mapping[int, int],
+                program: Program) -> np.ndarray:
+        """Project ``{bb_pc: exec_count}`` weighted by block length.
+
+        Weighting by instruction count matches SimPoint's BBV definition:
+        a block executed 10 times containing 30 instructions contributes
+        300.
+        """
+        out = np.zeros(self.dim)
+        for pc, count in bb_counts.items():
+            weight = count * program.block_by_pc(pc).length
+            out += weight * self._direction(pc)
+        norm = np.abs(out).sum()
+        if norm > 0:
+            out /= norm
+        return out
+
+
+def warp_type_key(bb_seq: Sequence[int]) -> int:
+    """Identity of a warp type: warps executing identical basic-block
+    sequences are the same type (Observation 4).  Returned as a stable
+    hash so that millions of warps do not retain full sequences."""
+    return hash(tuple(bb_seq))
+
+
+def gpu_bbv(
+    type_bbvs: Mapping[int, np.ndarray],
+    type_counts: Mapping[int, int],
+    clusters: int = 8,
+) -> np.ndarray:
+    """Build the GPU BBV of a kernel (paper Figure 5).
+
+    ``type_bbvs`` maps warp-type key to that type's projected BBV;
+    ``type_counts`` maps type key to the number of sampled warps of that
+    type.  The result is the concatenation of the ``clusters`` heaviest
+    weighted BBVs (weight × BBV), padded with zeros.
+    """
+    if not type_counts:
+        raise ValueError("no warp types supplied")
+    total = sum(type_counts.values())
+    ordered = sorted(type_counts, key=lambda k: (-type_counts[k], k))
+    dim = len(next(iter(type_bbvs.values())))
+    out = np.zeros(clusters * dim)
+    for slot, key in enumerate(ordered[:clusters]):
+        weight = type_counts[key] / total
+        out[slot * dim : (slot + 1) * dim] = weight * type_bbvs[key]
+    return out
+
+
+def bbv_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative L1 distance between two (GPU) BBVs, in [0, 2]."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = max(np.abs(a).sum(), np.abs(b).sum(), 1e-12)
+    return float(np.abs(a - b).sum() / denom)
+
+
+def cluster_by_distance(
+    vectors: List[np.ndarray], threshold: float
+) -> List[int]:
+    """Greedy leader clustering: assign each vector to the first cluster
+    whose leader is within ``threshold``; otherwise start a new cluster.
+    Returns cluster ids, in input order.  Used for the Figure 6
+    reproduction (kernels in the same GPU-BBV cluster have similar IPC).
+    """
+    leaders: List[np.ndarray] = []
+    assignment: List[int] = []
+    for vec in vectors:
+        placed = False
+        for cid, leader in enumerate(leaders):
+            if bbv_distance(vec, leader) < threshold:
+                assignment.append(cid)
+                placed = True
+                break
+        if not placed:
+            assignment.append(len(leaders))
+            leaders.append(vec)
+    return assignment

@@ -1,0 +1,99 @@
+"""Interval-analysis model for rare basic blocks (paper Figure 9).
+
+Some basic blocks execute too rarely for the online stability detector to
+learn their execution time (e.g. a final result-writeback block, or an
+empty-task early exit).  Photon predicts their runtime with a small
+interval model: instructions issue in order, each stalling until its
+producers retire, with per-opcode latencies taken from an online latency
+table collected during the detailed-simulation phase.  Opcodes never
+observed fall back to class defaults derived from the cache and ALU
+latencies ("we set their initial value according to the latency of caches
+and ALUs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..config.gpu_configs import GpuConfig
+from ..isa.instructions import Instruction
+from ..isa.opcodes import OpClass, Opcode, SReg, VReg, op_class
+from ..isa.program import BasicBlock, Program
+
+
+def default_latency(opcode: Opcode, config: GpuConfig) -> float:
+    """Fallback latency for an opcode never seen in detailed mode."""
+    cls = op_class(opcode)
+    if cls is OpClass.VECTOR_ALU:
+        return float(config.vector_alu_lat)
+    if cls is OpClass.SCALAR_ALU:
+        return float(config.scalar_alu_lat)
+    if cls is OpClass.VECTOR_MEM or cls is OpClass.SCALAR_MEM:
+        return float(config.l1_lat)
+    if cls is OpClass.LDS:
+        return float(config.lds_lat)
+    return float(config.branch_lat)
+
+
+class IntervalModel:
+    """Predicts basic-block execution time from instruction latencies."""
+
+    def __init__(self, config: GpuConfig,
+                 latency_table: Optional[Mapping[int, float]] = None):
+        self.config = config
+        # opcode-id -> observed mean latency (grows across kernels)
+        self.latency_table: Dict[int, float] = dict(latency_table or {})
+
+    def update(self, table: Mapping[int, float]) -> None:
+        """Merge freshly observed per-opcode latencies."""
+        self.latency_table.update(table)
+
+    def latency_of(self, inst: Instruction) -> float:
+        """Latency of one instruction (observed mean or class default)."""
+        observed = self.latency_table.get(inst.opcode.value)
+        if observed is not None:
+            return observed
+        return default_latency(inst.opcode, self.config)
+
+    def bb_time(self, program: Program, block: BasicBlock) -> float:
+        """Predicted execution time of ``block``.
+
+        Walks the block's instructions with an in-order issue model:
+        ``issue_i = max(issue_{i-1} + 1, retire(dep))`` and
+        ``retire_i = issue_i + latency_i``.  Dependencies are derived
+        from register reads/writes inside the block (producers outside
+        the block are assumed retired).  The block time is the span from
+        the first issue to the last retire.
+        """
+        issue_interval = self.config.issue_interval
+        last_writer: Dict[object, int] = {}
+        issue = 0.0
+        retires = []
+        first_issue = None
+        for offset in range(block.start, block.end):
+            inst = program.instructions[offset]
+            dep_ready = 0.0
+            for reg in inst.reads():
+                key = _key(reg)
+                producer = last_writer.get(key)
+                if producer is not None:
+                    dep_ready = max(dep_ready, retires[producer])
+            issue = max(issue, dep_ready)
+            if first_issue is None:
+                first_issue = issue
+            retire = issue + self.latency_of(inst)
+            retires.append(retire)
+            for reg in inst.writes():
+                last_writer[_key(reg)] = len(retires) - 1
+            issue += issue_interval
+        if first_issue is None:
+            return 0.0
+        return max(retires) - first_issue
+
+
+def _key(reg):
+    if isinstance(reg, SReg):
+        return ("s", reg.index)
+    if isinstance(reg, VReg):
+        return ("v", reg.index)
+    return reg

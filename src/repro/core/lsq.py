@@ -1,0 +1,165 @@
+"""Rolling least-squares stability detection (paper Equation 1).
+
+Photon decides that a stream of (issue time, retired time) observations is
+*stable* when the least-squares slope over the last ``n`` observations is
+close to one.  The intuition (Observation 3): once competition among
+warps has stabilised, an execution's retired time tracks its issue time
+plus a constant, so the fitted line ``retired = a * issue + b`` has
+``a ≈ 1``.  During warm-up (resources filling, caches cold) later issues
+see more contention and ``a`` deviates from one.
+
+The paper additionally guards against local optima by requiring that the
+mean execution time over the last ``n`` observations differs from the
+mean over the previous ``n`` by less than the same threshold ``δ``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+
+def least_squares_fit(xs, ys) -> Tuple[float, float]:
+    """Best-fit line ``y = a*x + b`` by ordinary least squares (Eq. 1).
+
+    Raises ``ValueError`` on fewer than two points or zero x-variance.
+    """
+    n = len(xs)
+    if n < 2 or n != len(ys):
+        raise ValueError("need at least two (x, y) points")
+    sx = float(sum(xs))
+    sy = float(sum(ys))
+    sxy = float(sum(x * y for x, y in zip(xs, ys)))
+    sxx = float(sum(x * x for x in xs))
+    denom = sxx - sx * sx / n
+    if denom == 0:
+        raise ValueError("zero variance in x; slope undefined")
+    a = (sxy - sx * sy / n) / denom
+    b = sy / n - a * sx / n
+    return a, b
+
+
+class RollingSlope:
+    """O(1)-update least-squares slope over a sliding window."""
+
+    def __init__(self, window: int):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self._pts: deque = deque()
+        self._sx = 0.0
+        self._sy = 0.0
+        self._sxy = 0.0
+        self._sxx = 0.0
+
+    def add(self, x: float, y: float) -> None:
+        """Insert an observation, evicting the oldest beyond the window."""
+        self._pts.append((x, y))
+        self._sx += x
+        self._sy += y
+        self._sxy += x * y
+        self._sxx += x * x
+        if len(self._pts) > self.window:
+            ox, oy = self._pts.popleft()
+            self._sx -= ox
+            self._sy -= oy
+            self._sxy -= ox * oy
+            self._sxx -= ox * ox
+
+    @property
+    def count(self) -> int:
+        return len(self._pts)
+
+    @property
+    def full(self) -> bool:
+        return len(self._pts) == self.window
+
+    def slope(self) -> Optional[float]:
+        """Current window slope, or None if undefined (degenerate x)."""
+        n = len(self._pts)
+        if n < 2:
+            return None
+        denom = self._sxx - self._sx * self._sx / n
+        if abs(denom) < 1e-12:
+            return None
+        return (self._sxy - self._sx * self._sy / n) / denom
+
+
+class StabilityDetector:
+    """Photon's per-stream stability criterion.
+
+    Feed ``(issue, retired)`` pairs with :meth:`add`; :meth:`is_stable`
+    reports whether the last ``window`` observations have a least-squares
+    slope within ``delta`` of one AND (optionally) the mean execution
+    duration over the last ``window`` differs from the previous
+    ``window``'s by less than ``delta`` relative — the local-optimum
+    guard from Sections 4.1/4.2.
+    """
+
+    def __init__(self, window: int, delta: float, mean_check: bool = True,
+                 mean_delta: Optional[float] = None):
+        self._slope = RollingSlope(window)
+        self.window = window
+        self.delta = delta
+        self.mean_check = mean_check
+        # threshold for the window-mean drift guard; defaults to the slope
+        # threshold (the paper uses one delta), but may be calibrated
+        # separately for substrates with noisier steady states
+        self.mean_delta = delta if mean_delta is None else mean_delta
+        self._recent: deque = deque()  # last n durations
+        self._older: deque = deque()  # previous n durations
+        self._recent_sum = 0.0
+        self._older_sum = 0.0
+        self.observations = 0
+
+    def add(self, issue: float, retired: float) -> None:
+        """Record one execution's (issue, retired) times."""
+        self._slope.add(issue, retired)
+        self.observations += 1
+        duration = retired - issue
+        self._recent.append(duration)
+        self._recent_sum += duration
+        if len(self._recent) > self.window:
+            moved = self._recent.popleft()
+            self._recent_sum -= moved
+            self._older.append(moved)
+            self._older_sum += moved
+            if len(self._older) > self.window:
+                self._older_sum -= self._older.popleft()
+
+    @property
+    def ready(self) -> bool:
+        """True once enough observations exist to judge stability."""
+        if not self._slope.full:
+            return False
+        if self.mean_check and len(self._older) < self.window:
+            return False
+        return True
+
+    def is_stable(self) -> bool:
+        """Apply the paper's criterion to the current windows."""
+        if not self.ready:
+            return False
+        a = self._slope.slope()
+        if a is None or abs(a - 1.0) >= self.delta:
+            return False
+        if self.mean_check:
+            recent_mean = self._recent_sum / len(self._recent)
+            older_mean = self._older_sum / len(self._older)
+            scale = max(abs(recent_mean), abs(older_mean), 1e-12)
+            if abs(recent_mean - older_mean) / scale >= self.mean_delta:
+                return False
+        return True
+
+    def mean_duration(self) -> float:
+        """Mean execution duration over the most recent window.
+
+        This is the predictor used once a stream is declared stable.
+        """
+        if not self._recent:
+            raise ValueError("no observations")
+        return self._recent_sum / len(self._recent)
+
+    def slope(self) -> Optional[float]:
+        """Expose the current slope (for diagnostics and figures)."""
+        return self._slope.slope()

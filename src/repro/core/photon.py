@@ -1,0 +1,281 @@
+"""The Photon controller: three-level sampled GPU simulation.
+
+Per kernel launch (paper Section 4, Figures 7/10/12):
+
+1. **Online analysis** — functionally simulate a 1% sample of warps
+   (fast-forward mode); derive BB distribution, warp-type distribution
+   and the kernel's GPU BBV.  No up-front profiling is ever required.
+2. **Kernel-sampling** — if a previously simulated kernel has a similar
+   GPU BBV (and compatible warp count), skip simulation entirely and
+   predict time from its IPC and the extrapolated instruction count.
+3. Otherwise, **detailed simulation with detectors attached**: the
+   basic-block detector and (if a dominant warp type exists) the warp
+   detector run in parallel; whichever declares stability first stops
+   workgroup dispatch.
+4. **Prediction of the remainder** — warp-sampling predicts every
+   remaining warp as the mean of the last window and simulates only the
+   scheduler; basic-block-sampling functionally fast-forwards remaining
+   warps and sums per-block mean times (rare blocks via the interval
+   model), then simulates only the scheduler.
+5. If no level triggers, Photon **falls back to full detailed
+   simulation** — accuracy is never sacrificed to force a speedup.
+
+The controller also supports the paper's online/offline trade-off
+(Section 6.3): online-analysis results are microarchitecture-agnostic
+and can be cached in an :class:`AnalysisStore` keyed by program
+fingerprint and grid, skipping re-analysis on later runs.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional, Tuple
+
+from ..config.gpu_configs import GpuConfig
+from ..functional.executor import FunctionalExecutor
+from ..functional.kernel import Application, Kernel
+from ..timing.caches import MemoryHierarchy
+from ..timing.engine import DetailedEngine
+from ..timing.fastmodel import schedule_only
+from ..timing.simulator import AppResult, KernelResult
+from .bbv import BBVProjector
+from .config import PhotonConfig
+from .detectors import BBSamplingDetector, WarpSamplingDetector
+from .interval import IntervalModel
+from .kerneldb import KernelDB, KernelRecord
+from .online import OnlineAnalysis, analyze_kernel
+
+
+class AnalysisStore:
+    """Cache of online-analysis results for offline reuse (§6.3)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int, int], OnlineAnalysis] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(kernel: Kernel) -> Tuple[int, int, int]:
+        return (kernel.program.fingerprint, kernel.n_warps, kernel.wg_size)
+
+    def get(self, kernel: Kernel) -> Optional[OnlineAnalysis]:
+        entry = self._entries.get(self.key_of(kernel))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, kernel: Kernel, analysis: OnlineAnalysis) -> None:
+        self._entries[self.key_of(kernel)] = analysis
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Photon:
+    """Sampled GPU simulator (the paper's contribution).
+
+    One instance carries warm state across an application's kernels: the
+    cache hierarchy, the kernel database, the instruction-latency table
+    feeding the interval model, and (optionally) an analysis store.
+    """
+
+    def __init__(
+        self,
+        gpu_config: GpuConfig,
+        config: Optional[PhotonConfig] = None,
+        analysis_store: Optional[AnalysisStore] = None,
+    ):
+        self.gpu_config = gpu_config
+        self.config = config or PhotonConfig()
+        self.projector = BBVProjector(self.config.bbv_dim)
+        self.kernel_db = KernelDB(self.config.kernel_distance,
+                                  gpu_config.n_cu)
+        self.interval_model = IntervalModel(gpu_config)
+        self.hierarchy = MemoryHierarchy(gpu_config)
+        self.analysis_store = analysis_store
+
+    # -- public API --------------------------------------------------------------
+
+    def simulate_kernel(self, kernel: Kernel) -> KernelResult:
+        """Simulate one kernel launch with sampling; return its result."""
+        t0 = _time.perf_counter()
+        analysis = self._get_analysis(kernel)
+
+        if self.config.enable_kernel_sampling:
+            prediction = self.kernel_db.lookup(
+                analysis.gpu_bbv, kernel.n_warps, analysis.sample_insts)
+            if prediction is not None:
+                self.kernel_db.add(KernelRecord(
+                    name=kernel.name,
+                    gpu_bbv=analysis.gpu_bbv,
+                    n_warps=kernel.n_warps,
+                    total_insts=prediction.predicted_insts,
+                    sample_insts=analysis.sample_insts,
+                    sim_time=prediction.predicted_time,
+                ))
+                result = KernelResult(
+                    kernel_name=kernel.name,
+                    sim_time=prediction.predicted_time,
+                    wall_seconds=_time.perf_counter() - t0,
+                    n_insts=int(prediction.predicted_insts),
+                    mode="kernel",
+                    detail_insts=0,
+                )
+                result.meta["matched_kernel"] = prediction.matched.name
+                return result
+
+        result = self._simulate_intra_kernel(kernel, analysis)
+        result.wall_seconds = _time.perf_counter() - t0
+        self.kernel_db.add(KernelRecord(
+            name=kernel.name,
+            gpu_bbv=analysis.gpu_bbv,
+            n_warps=kernel.n_warps,
+            total_insts=float(result.n_insts),
+            sample_insts=analysis.sample_insts,
+            sim_time=result.sim_time,
+        ))
+        return result
+
+    def simulate_app(self, app: Application,
+                     method_name: str = "photon") -> AppResult:
+        """Simulate a whole application kernel by kernel."""
+        result = AppResult(app_name=app.name, method=method_name)
+        for kernel in app.kernels:
+            self.hierarchy.reset_timing()
+            result.kernels.append(self.simulate_kernel(kernel))
+        return result
+
+    # -- internals ------------------------------------------------------------------
+
+    def _get_analysis(self, kernel: Kernel) -> OnlineAnalysis:
+        if self.analysis_store is not None:
+            cached = self.analysis_store.get(kernel)
+            if cached is not None:
+                return cached
+        analysis = analyze_kernel(kernel, self.config, self.projector)
+        if self.analysis_store is not None:
+            self.analysis_store.put(kernel, analysis)
+        return analysis
+
+    def _simulate_intra_kernel(
+        self, kernel: Kernel, analysis: OnlineAnalysis
+    ) -> KernelResult:
+        engine = DetailedEngine(
+            kernel,
+            self.gpu_config,
+            hierarchy=self.hierarchy,
+            collect_latency=True,
+        )
+        bb_detector = None
+        warp_detector = None
+        if self.config.enable_bb_sampling:
+            capacity = (self.gpu_config.n_cu
+                        * self.gpu_config.max_warps_per_cu)
+            bb_detector = BBSamplingDetector(analysis, self.config,
+                                             warp_capacity=capacity)
+            engine.attach(bb_detector)
+        if self.config.enable_warp_sampling:
+            warp_detector = WarpSamplingDetector(analysis, self.config)
+            if warp_detector.armed:
+                engine.attach(warp_detector)
+
+        detailed = engine.run()
+        self.interval_model.update(detailed.latency_table)
+
+        warp_switched = warp_detector is not None and warp_detector.switched
+        bb_switched = bb_detector is not None and bb_detector.switched
+
+        if detailed.stopped and detailed.undispatched:
+            remaining = detailed.undispatched
+            if warp_switched:
+                return self._finish_warp_sampling(
+                    kernel, analysis, detailed, warp_detector, remaining)
+            if bb_switched:
+                return self._finish_bb_sampling(
+                    kernel, analysis, detailed, bb_detector, remaining)
+
+        # no switch (or nothing left to predict): full detailed result
+        result = KernelResult(
+            kernel_name=kernel.name,
+            sim_time=detailed.end_time,
+            wall_seconds=0.0,
+            n_insts=detailed.n_insts,
+            mode="full",
+            detail_insts=detailed.n_insts,
+        )
+        if bb_detector is not None:
+            result.meta["stable_bb_rate"] = bb_detector.stable_rate
+        return result
+
+    def _finish_warp_sampling(self, kernel, analysis, detailed,
+                              detector, remaining) -> KernelResult:
+        mean = detector.mean_warp_duration()
+        durations = {warp_id: mean for warp_id in remaining}
+        fast = schedule_only(
+            kernel, remaining, durations, self.gpu_config,
+            start_time=detailed.stop_time,
+            cu_slot_free=detailed.cu_slot_free,
+        )
+        predicted_insts = analysis.mean_insts_per_warp * len(remaining)
+        result = KernelResult(
+            kernel_name=kernel.name,
+            sim_time=max(detailed.end_time, fast.end_time),
+            wall_seconds=0.0,
+            n_insts=int(detailed.n_insts + predicted_insts),
+            mode="warp",
+            detail_insts=detailed.n_insts,
+        )
+        result.meta["warps_predicted"] = len(remaining)
+        result.meta["mean_warp_duration"] = mean
+        return result
+
+    def _finish_bb_sampling(self, kernel, analysis, detailed,
+                            detector, remaining) -> KernelResult:
+        table = detector.bb_time_table()
+        interval_cache: Dict[int, float] = {}
+        duration_cache: Dict[Tuple[int, ...], float] = {}
+        program = kernel.program
+        executor = FunctionalExecutor(kernel)
+
+        def bb_time(pc: int) -> float:
+            known = table.get(pc)
+            if known is not None:
+                return known
+            estimated = interval_cache.get(pc)
+            if estimated is None:
+                estimated = self.interval_model.bb_time(
+                    program, program.block_by_pc(pc))
+                interval_cache[pc] = estimated
+            return estimated
+
+        durations: Dict[int, float] = {}
+        predicted_insts = 0
+        for warp_id in remaining:
+            trace = executor.run_warp_control(warp_id)
+            predicted_insts += trace.n_insts
+            seq = tuple(trace.bb_seq)
+            duration = duration_cache.get(seq)
+            if duration is None:
+                duration = sum(bb_time(pc) for pc in seq)
+                duration_cache[seq] = duration
+            durations[warp_id] = duration
+
+        fast = schedule_only(
+            kernel, remaining, durations, self.gpu_config,
+            start_time=detailed.stop_time,
+            cu_slot_free=detailed.cu_slot_free,
+        )
+        result = KernelResult(
+            kernel_name=kernel.name,
+            sim_time=max(detailed.end_time, fast.end_time),
+            wall_seconds=0.0,
+            n_insts=detailed.n_insts + predicted_insts,
+            mode="bb",
+            detail_insts=detailed.n_insts,
+        )
+        result.meta["warps_predicted"] = len(remaining)
+        result.meta["rare_bbs"] = sorted(interval_cache)
+        result.meta["stable_bb_rate"] = detector.stable_rate
+        return result

@@ -1,0 +1,18 @@
+"""Functional (architectural) GPU simulation: memory, kernels, interpreter."""
+
+from .executor import FunctionalExecutor
+from .kernel import Application, Kernel
+from .memory import GlobalMemory, LINE_BYTES, WORDS_PER_LINE, lines_of
+from .trace import ControlTrace, WarpTrace
+
+__all__ = [
+    "Application",
+    "ControlTrace",
+    "FunctionalExecutor",
+    "GlobalMemory",
+    "Kernel",
+    "LINE_BYTES",
+    "WORDS_PER_LINE",
+    "WarpTrace",
+    "lines_of",
+]

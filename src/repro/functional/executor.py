@@ -1,0 +1,561 @@
+"""Functional (architectural) simulator for the mini ISA.
+
+The executor interprets one warp at a time.  Two modes are offered:
+
+* :meth:`FunctionalExecutor.run_warp_full` — FULL mode.  Emulates every
+  lane, computes memory addresses, applies stores, and produces the
+  :class:`~repro.functional.trace.WarpTrace` the detailed timing model
+  consumes (dependencies + coalesced cache lines).
+* :meth:`FunctionalExecutor.run_warp_control` — CONTROL mode.  Executes
+  only the scalar (uniform) side, which is what control flow depends on
+  in GCN-style kernels, and records the basic-block sequence and
+  instruction count.  This is the cheap fast-forward mode Photon uses for
+  online analysis and for warps whose timing is predicted rather than
+  simulated.
+
+Warps are architecturally independent in all supplied workloads (each
+writes disjoint outputs), so per-warp interpretation order does not change
+results.  LDS is modelled as per-warp scratch: values exchanged through
+LDS between warps are not reproduced, but no workload's control flow or
+addressing depends on them — only timing does, and that is the timing
+model's job (barriers are simulated there).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..isa.instructions import Instruction
+from ..isa.opcodes import Imm, OpClass, Opcode, SReg, VReg
+from .kernel import (
+    FIRST_ARG_SREG,
+    Kernel,
+    SREG_WARP_ID,
+    SREG_WARP_IN_WG,
+    SREG_WORKGROUP_ID,
+)
+from .memory import lines_of
+from .trace import ControlTrace, WarpTrace
+
+N_SREGS = 32
+N_VREGS = 32
+LDS_WORDS = 4096
+DEFAULT_MAX_STEPS = 2_000_000
+
+_SCALAR_BINOPS = {
+    Opcode.S_ADD: lambda a, b: a + b,
+    Opcode.S_SUB: lambda a, b: a - b,
+    Opcode.S_MUL: lambda a, b: a * b,
+    Opcode.S_MIN: min,
+    Opcode.S_MAX: max,
+    Opcode.S_AND: lambda a, b: float(int(a) & int(b)),
+    Opcode.S_OR: lambda a, b: float(int(a) | int(b)),
+    Opcode.S_LSHL: lambda a, b: float(int(a) << int(b)),
+    Opcode.S_LSHR: lambda a, b: float(int(a) >> int(b)),
+}
+
+_SCALAR_CMPS = {
+    Opcode.S_CMP_LT: lambda a, b: a < b,
+    Opcode.S_CMP_LE: lambda a, b: a <= b,
+    Opcode.S_CMP_EQ: lambda a, b: a == b,
+    Opcode.S_CMP_NE: lambda a, b: a != b,
+    Opcode.S_CMP_GT: lambda a, b: a > b,
+    Opcode.S_CMP_GE: lambda a, b: a >= b,
+}
+
+_VECTOR_CMPS = {
+    Opcode.V_CMP_LT: np.less,
+    Opcode.V_CMP_LE: np.less_equal,
+    Opcode.V_CMP_EQ: np.equal,
+    Opcode.V_CMP_NE: np.not_equal,
+    Opcode.V_CMP_GT: np.greater,
+    Opcode.V_CMP_GE: np.greater_equal,
+}
+
+
+def _int_binop(fn):
+    def apply(a, b):
+        return fn(
+            np.asarray(a, dtype=np.float64).astype(np.int64),
+            np.asarray(b, dtype=np.float64).astype(np.int64),
+        ).astype(np.float64)
+
+    return apply
+
+
+_VECTOR_BINOPS = {
+    Opcode.V_ADD: np.add,
+    Opcode.V_SUB: np.subtract,
+    Opcode.V_MUL: np.multiply,
+    Opcode.V_MIN: np.minimum,
+    Opcode.V_MAX: np.maximum,
+    Opcode.V_AND: _int_binop(np.bitwise_and),
+    Opcode.V_OR: _int_binop(np.bitwise_or),
+    Opcode.V_XOR: _int_binop(np.bitwise_xor),
+    Opcode.V_LSHL: _int_binop(np.left_shift),
+    Opcode.V_LSHR: _int_binop(np.right_shift),
+}
+
+
+# dispatch kinds resolved once per static instruction (hot-loop tags)
+_K_VBIN = 0
+_K_VMAC = 1
+_K_VFMA = 2
+_K_VMOV = 3
+_K_VLANE = 4
+_K_VCND = 5
+_K_VCMP = 6
+_K_SBIN = 7
+_K_SMOV = 8
+_K_SCMP = 9
+_K_EXEC_VCC = 10
+_K_EXEC_ALL = 11
+_K_SLOAD = 12
+_K_VLOAD = 13
+_K_VSTORE = 14
+_K_DSREAD = 15
+_K_DSWRITE = 16
+_K_BRANCH = 17
+_K_CBR1 = 18
+_K_CBR0 = 19
+_K_BARRIER = 20
+_K_WAITCNT = 21
+_K_END = 22
+
+
+def _kind_of(op: Opcode):
+    """Resolve (kind, semantic function) for one opcode."""
+    if op in _VECTOR_BINOPS:
+        return _K_VBIN, _VECTOR_BINOPS[op]
+    if op in _VECTOR_CMPS:
+        return _K_VCMP, _VECTOR_CMPS[op]
+    if op in _SCALAR_BINOPS:
+        return _K_SBIN, _SCALAR_BINOPS[op]
+    if op in _SCALAR_CMPS:
+        return _K_SCMP, _SCALAR_CMPS[op]
+    simple = {
+        Opcode.V_MAC: _K_VMAC, Opcode.V_FMA: _K_VFMA,
+        Opcode.V_MOV: _K_VMOV, Opcode.V_LANE: _K_VLANE,
+        Opcode.V_CNDMASK: _K_VCND, Opcode.S_MOV: _K_SMOV,
+        Opcode.S_EXEC_FROM_VCC: _K_EXEC_VCC,
+        Opcode.S_EXEC_ALL: _K_EXEC_ALL, Opcode.S_LOAD: _K_SLOAD,
+        Opcode.V_LOAD: _K_VLOAD, Opcode.V_STORE: _K_VSTORE,
+        Opcode.DS_READ: _K_DSREAD, Opcode.DS_WRITE: _K_DSWRITE,
+        Opcode.S_BRANCH: _K_BRANCH, Opcode.S_CBRANCH_SCC1: _K_CBR1,
+        Opcode.S_CBRANCH_SCC0: _K_CBR0, Opcode.S_BARRIER: _K_BARRIER,
+        Opcode.S_WAITCNT: _K_WAITCNT, Opcode.S_ENDPGM: _K_END,
+    }
+    return simple[op], None
+
+
+class _StaticInfo:
+    """Pre-resolved per-instruction metadata (dependency keys, class)."""
+
+    __slots__ = ("reads", "writes", "opclass", "opcode_id", "is_leader",
+                 "kind", "fn", "dst_idx", "src_spec", "target",
+                 "mem_base", "mem_index", "mem_scale", "mem_offset")
+
+    def __init__(self, inst: Instruction, leaders: set):
+        reads: List[object] = []
+        for reg in inst.reads():
+            if isinstance(reg, SReg):
+                reads.append(("s", reg.index))
+            elif isinstance(reg, VReg):
+                reads.append(("v", reg.index))
+        op = inst.opcode
+        if op is Opcode.V_CNDMASK or op is Opcode.S_EXEC_FROM_VCC:
+            reads.append("vcc")
+        if op in (Opcode.S_CBRANCH_SCC0, Opcode.S_CBRANCH_SCC1):
+            reads.append("scc")
+        writes: List[object] = []
+        for reg in inst.writes():
+            if isinstance(reg, SReg):
+                writes.append(("s", reg.index))
+            elif isinstance(reg, VReg):
+                writes.append(("v", reg.index))
+        if op in _VECTOR_CMPS:
+            writes.append("vcc")
+        if op in _SCALAR_CMPS:
+            writes.append("scc")
+        if op in (Opcode.S_EXEC_FROM_VCC, Opcode.S_EXEC_ALL):
+            writes.append("exec")
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.opclass = int(inst.op_class)
+        self.opcode_id = op.value
+        self.is_leader = False  # filled in by the executor
+        self.kind, self.fn = _kind_of(op)
+        self.dst_idx = inst.dst.index if hasattr(inst.dst, "index") else -1
+        # operand spec: ("s", idx) scalar reg, ("v", idx) vector reg,
+        # ("i", value) immediate — avoids isinstance checks per execution
+        spec = []
+        for operand in inst.srcs:
+            if isinstance(operand, SReg):
+                spec.append(("s", operand.index))
+            elif isinstance(operand, VReg):
+                spec.append(("v", operand.index))
+            else:
+                spec.append(("i", operand.value))
+        self.src_spec = tuple(spec)
+        self.target = inst.target
+        mem = inst.mem
+        self.mem_base = mem.base.index if mem is not None else -1
+        self.mem_index = (mem.index.index
+                          if mem is not None and mem.index is not None
+                          else -1)
+        self.mem_scale = mem.scale if mem is not None else 1
+        self.mem_offset = mem.offset if mem is not None else 0
+
+
+class FunctionalExecutor:
+    """Interprets warps of one kernel."""
+
+    def __init__(self, kernel: Kernel, max_steps: int = DEFAULT_MAX_STEPS):
+        self.kernel = kernel
+        self.program = kernel.program
+        self.max_steps = int(kernel.meta.get("max_steps", max_steps))
+        leaders = {b.start for b in self.program.blocks}
+        self._static = [
+            _StaticInfo(inst, leaders) for inst in self.program.instructions
+        ]
+        for pc in leaders:
+            self._static[pc].is_leader = True
+        self._leaders = leaders
+
+    # -- register-file setup --------------------------------------------------
+
+    def _init_sregs(self, warp_id: int) -> List[float]:
+        kernel = self.kernel
+        sregs = [0.0] * N_SREGS
+        sregs[SREG_WARP_ID] = float(warp_id)
+        sregs[SREG_WORKGROUP_ID] = float(kernel.workgroup_of(warp_id))
+        sregs[SREG_WARP_IN_WG] = float(warp_id % kernel.wg_size)
+        if kernel.args is not None:
+            for index, value in kernel.args(warp_id).items():
+                if not FIRST_ARG_SREG <= index < N_SREGS:
+                    raise ExecutionError(
+                        f"kernel arg register s{index} outside "
+                        f"[{FIRST_ARG_SREG}, {N_SREGS})"
+                    )
+                sregs[index] = float(value)
+        return sregs
+
+    # -- FULL mode ---------------------------------------------------------------
+
+    def run_warp_full(self, warp_id: int) -> WarpTrace:
+        """Emulate every lane of ``warp_id``; return its detailed trace."""
+        kernel = self.kernel
+        static = self._static
+        warp_size = kernel.warp_size
+        memory = kernel.memory
+
+        sregs = self._init_sregs(warp_id)
+        vregs = np.zeros((N_VREGS, warp_size), dtype=np.float64)
+        lds = np.zeros(LDS_WORDS, dtype=np.float64)
+        vcc = np.zeros(warp_size, dtype=bool)
+        exec_mask = np.ones(warp_size, dtype=bool)
+        exec_all = True
+        scc = False
+
+        trace = WarpTrace(warp_id=warp_id)
+        t_static = trace.static_idx
+        t_class = trace.opclass
+        t_opcode = trace.opcode
+        t_dep = trace.dep
+        t_mem = trace.mem_lines
+        t_store = trace.is_store
+        t_bb = trace.bb_seq
+
+        last_writer: Dict[object, int] = {}
+        lw_get = last_writer.get
+        last_mem_dyn = -1
+        pc = 0
+        steps = 0
+        dyn = 0
+        max_steps = self.max_steps
+        lane_ids = np.arange(warp_size, dtype=np.float64)
+        read_gather = memory.read_gather
+        write_scatter = memory.write_scatter
+        read_word = memory.read_word
+
+        def val(spec):
+            tag, x = spec
+            if tag == "s":
+                return sregs[x]
+            if tag == "v":
+                return vregs[x]
+            return x
+
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise ExecutionError(
+                    f"warp {warp_id} of {kernel.name!r} exceeded "
+                    f"{max_steps} steps (runaway loop?)"
+                )
+            info = static[pc]
+            if info.is_leader:
+                t_bb.append((pc, dyn))
+            kind = info.kind
+
+            # dependency = youngest producer of any read register
+            dep = -1
+            for key in info.reads:
+                d = lw_get(key, -1)
+                if d > dep:
+                    dep = d
+
+            mem_rec = None
+            store = False
+            next_pc = pc + 1
+            spec = info.src_spec
+
+            if kind == _K_VBIN:
+                result = info.fn(val(spec[0]), val(spec[1]))
+                if exec_all:
+                    vregs[info.dst_idx] = result
+                else:
+                    vregs[info.dst_idx][exec_mask] = np.broadcast_to(
+                        result, (warp_size,))[exec_mask]
+            elif kind == _K_VMAC:
+                result = vregs[info.dst_idx] + \
+                    np.asarray(val(spec[0])) * val(spec[1])
+                if exec_all:
+                    vregs[info.dst_idx] = result
+                else:
+                    vregs[info.dst_idx][exec_mask] = result[exec_mask]
+            elif kind == _K_SBIN:
+                sregs[info.dst_idx] = float(info.fn(val(spec[0]),
+                                                    val(spec[1])))
+            elif kind == _K_SCMP:
+                scc = bool(info.fn(val(spec[0]), val(spec[1])))
+            elif kind == _K_SMOV:
+                sregs[info.dst_idx] = float(val(spec[0]))
+            elif kind == _K_VCMP:
+                vcc = np.asarray(
+                    info.fn(np.asarray(val(spec[0])),
+                            np.asarray(val(spec[1]))), dtype=bool)
+                if vcc.shape != (warp_size,):
+                    vcc = np.broadcast_to(vcc, (warp_size,)).copy()
+            elif kind == _K_VLOAD:
+                base = sregs[info.mem_base] + info.mem_offset
+                if info.mem_index >= 0:
+                    addrs = base + vregs[info.mem_index] * info.mem_scale
+                else:
+                    addrs = np.full(warp_size, base)
+                active = addrs if exec_all else addrs[exec_mask]
+                if active.size:
+                    values = read_gather(active)
+                    if exec_all:
+                        vregs[info.dst_idx] = values
+                    else:
+                        vregs[info.dst_idx][exec_mask] = values
+                    mem_rec = lines_of(active)
+                else:
+                    mem_rec = ()
+                last_mem_dyn = dyn
+            elif kind == _K_VSTORE:
+                base = sregs[info.mem_base] + info.mem_offset
+                if info.mem_index >= 0:
+                    addrs = base + vregs[info.mem_index] * info.mem_scale
+                else:
+                    addrs = np.full(warp_size, base)
+                data = vregs[info.dst_idx]
+                active = addrs if exec_all else addrs[exec_mask]
+                if active.size:
+                    write_scatter(
+                        active, data if exec_all else data[exec_mask])
+                    mem_rec = lines_of(active)
+                else:
+                    mem_rec = ()
+                store = True
+                last_mem_dyn = dyn
+            elif kind == _K_SLOAD:
+                addr = int(sregs[info.mem_base]) + info.mem_offset
+                sregs[info.dst_idx] = read_word(addr)
+                mem_rec = (addr // 8,)
+                last_mem_dyn = dyn
+            elif kind == _K_DSREAD:
+                idx = (np.asarray(val(spec[0]))
+                       .astype(np.int64) % LDS_WORDS)
+                idx = np.broadcast_to(idx, (warp_size,))
+                if exec_all:
+                    vregs[info.dst_idx] = lds[idx]
+                else:
+                    vregs[info.dst_idx][exec_mask] = lds[idx][exec_mask]
+            elif kind == _K_DSWRITE:
+                idx = (np.asarray(val(spec[0]))
+                       .astype(np.int64) % LDS_WORDS)
+                idx = np.broadcast_to(idx, (warp_size,))
+                data = np.broadcast_to(
+                    np.asarray(val(spec[1]), dtype=np.float64),
+                    (warp_size,))
+                if exec_all:
+                    lds[idx] = data
+                else:
+                    lds[idx[exec_mask]] = data[exec_mask]
+            elif kind == _K_VFMA:
+                result = (np.asarray(val(spec[0])) * val(spec[1])
+                          + val(spec[2]))
+                if exec_all:
+                    vregs[info.dst_idx] = result
+                else:
+                    vregs[info.dst_idx][exec_mask] = np.broadcast_to(
+                        result, (warp_size,))[exec_mask]
+            elif kind == _K_VMOV:
+                result = np.broadcast_to(
+                    np.asarray(val(spec[0]), dtype=np.float64),
+                    (warp_size,))
+                if exec_all:
+                    vregs[info.dst_idx][:] = result
+                else:
+                    vregs[info.dst_idx][exec_mask] = result[exec_mask]
+            elif kind == _K_VLANE:
+                if exec_all:
+                    vregs[info.dst_idx][:] = lane_ids
+                else:
+                    vregs[info.dst_idx][exec_mask] = lane_ids[exec_mask]
+            elif kind == _K_VCND:
+                result = np.where(vcc, np.asarray(val(spec[1])),
+                                  np.asarray(val(spec[0])))
+                if exec_all:
+                    vregs[info.dst_idx] = result
+                else:
+                    vregs[info.dst_idx][exec_mask] = np.broadcast_to(
+                        result, (warp_size,))[exec_mask]
+            elif kind == _K_EXEC_VCC:
+                exec_mask = vcc.copy()
+                exec_all = bool(exec_mask.all())
+            elif kind == _K_EXEC_ALL:
+                exec_mask = np.ones(warp_size, dtype=bool)
+                exec_all = True
+            elif kind == _K_BRANCH:
+                next_pc = info.target
+            elif kind == _K_CBR1:
+                if scc:
+                    next_pc = info.target
+            elif kind == _K_CBR0:
+                if not scc:
+                    next_pc = info.target
+            elif kind == _K_BARRIER:
+                pass  # timing-only effect
+            elif kind == _K_WAITCNT:
+                if last_mem_dyn > dep:
+                    dep = last_mem_dyn
+            elif kind == _K_END:
+                t_static.append(pc)
+                t_class.append(info.opclass)
+                t_opcode.append(info.opcode_id)
+                t_dep.append(dep)
+                t_mem.append(None)
+                t_store.append(False)
+                break
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unhandled kind {kind}")
+
+            for key in info.writes:
+                last_writer[key] = dyn
+
+            t_static.append(pc)
+            t_class.append(info.opclass)
+            t_opcode.append(info.opcode_id)
+            t_dep.append(dep)
+            t_mem.append(mem_rec)
+            t_store.append(store)
+            dyn += 1
+            pc = next_pc
+
+        return trace
+
+    @staticmethod
+    def _vwrite(vregs, index, value, exec_mask, exec_all) -> None:
+        value = np.asarray(value, dtype=np.float64)
+        if exec_all:
+            if value.shape == vregs[index].shape:
+                vregs[index] = value.copy() if value.base is not None else value
+            else:
+                vregs[index][:] = value
+        else:
+            vregs[index][exec_mask] = np.broadcast_to(
+                value, vregs[index].shape)[exec_mask]
+
+    @staticmethod
+    def _addresses(inst, sregs, vregs, warp_size) -> np.ndarray:
+        mem = inst.mem
+        base = sregs[mem.base.index] + mem.offset
+        if mem.index is None:
+            return np.full(warp_size, base, dtype=np.float64)
+        return base + vregs[mem.index.index] * mem.scale
+
+    # -- CONTROL mode -------------------------------------------------------------
+
+    def run_warp_control(self, warp_id: int) -> ControlTrace:
+        """Execute only the scalar/uniform side; return the control trace.
+
+        Correct for this ISA because control flow (branches) depends only
+        on scalar state, which itself depends only on scalar registers and
+        scalar loads — never on vector lane values.
+        """
+        kernel = self.kernel
+        static = self._static
+        memory = kernel.memory
+        read_word = memory.read_word
+
+        sregs = self._init_sregs(warp_id)
+        scc = False
+        trace = ControlTrace(warp_id=warp_id)
+        bb_seq = trace.bb_seq
+        pc = 0
+        steps = 0
+        n_insts = 0
+        max_steps = self.max_steps
+
+        def val(spec):
+            tag, x = spec
+            return sregs[x] if tag == "s" else x
+
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise ExecutionError(
+                    f"warp {warp_id} of {kernel.name!r} exceeded "
+                    f"{max_steps} steps (runaway loop?)"
+                )
+            info = static[pc]
+            if info.is_leader:
+                bb_seq.append(pc)
+            kind = info.kind
+            n_insts += 1
+            next_pc = pc + 1
+
+            if kind == _K_SBIN:
+                spec = info.src_spec
+                sregs[info.dst_idx] = float(info.fn(val(spec[0]),
+                                                    val(spec[1])))
+            elif kind == _K_SCMP:
+                spec = info.src_spec
+                scc = bool(info.fn(val(spec[0]), val(spec[1])))
+            elif kind == _K_SMOV:
+                sregs[info.dst_idx] = float(val(info.src_spec[0]))
+            elif kind == _K_SLOAD:
+                addr = int(sregs[info.mem_base]) + info.mem_offset
+                sregs[info.dst_idx] = read_word(addr)
+            elif kind == _K_BRANCH:
+                next_pc = info.target
+            elif kind == _K_CBR1:
+                if scc:
+                    next_pc = info.target
+            elif kind == _K_CBR0:
+                if not scc:
+                    next_pc = info.target
+            elif kind == _K_END:
+                trace.n_insts = n_insts
+                break
+            # all vector / LDS / barrier / waitcnt ops: control-irrelevant,
+            # counted above and otherwise skipped
+            pc = next_pc
+
+        return trace

@@ -1,0 +1,91 @@
+"""Accuracy and performance metrics (paper Section 5).
+
+The paper validates *kernel execution time* (not IPC) because it is
+"the most important feature that GPU users care about", with::
+
+    error   = |T_full - T_sampled| / T_full * 100%
+    speedup = WallTime_full / WallTime_sampled
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SamplingError
+from ..timing.simulator import AppResult, KernelResult
+
+
+def sim_time_error(full_time: float, sampled_time: float) -> float:
+    """Absolute relative error of predicted execution time, in percent."""
+    if full_time <= 0:
+        raise SamplingError(f"full-detailed time must be positive: {full_time}")
+    return abs(full_time - sampled_time) / full_time * 100.0
+
+
+def wall_speedup(full_wall: float, sampled_wall: float) -> float:
+    """Host wall-time speedup of the sampled methodology."""
+    if sampled_wall <= 0:
+        raise SamplingError(f"sampled wall time must be positive: {sampled_wall}")
+    return full_wall / sampled_wall
+
+
+@dataclass
+class Comparison:
+    """One (workload, size, method) evaluation row."""
+
+    workload: str
+    size: int
+    method: str
+    full_time: float
+    sampled_time: float
+    full_wall: float
+    sampled_wall: float
+    mode: str = ""
+    detail_fraction: float = 1.0
+
+    @property
+    def error_pct(self) -> float:
+        return sim_time_error(self.full_time, self.sampled_time)
+
+    @property
+    def speedup(self) -> float:
+        return wall_speedup(self.full_wall, self.sampled_wall)
+
+
+def compare_kernels(workload: str, size: int, method: str,
+                    full: KernelResult,
+                    sampled: KernelResult) -> Comparison:
+    """Build a comparison row from two kernel results."""
+    return Comparison(
+        workload=workload,
+        size=size,
+        method=method,
+        full_time=full.sim_time,
+        sampled_time=sampled.sim_time,
+        full_wall=full.wall_seconds,
+        sampled_wall=sampled.wall_seconds,
+        mode=sampled.mode,
+        detail_fraction=sampled.detail_fraction,
+    )
+
+
+def compare_apps(workload: str, method: str, full: AppResult,
+                 sampled: AppResult,
+                 size: Optional[int] = None) -> Comparison:
+    """Build a comparison row from two application results."""
+    modes = sampled.mode_counts()
+    dominant = max(modes, key=lambda m: modes[m]) if modes else ""
+    total = sampled.n_insts
+    detail = sum(k.detail_insts for k in sampled.kernels)
+    return Comparison(
+        workload=workload,
+        size=size if size is not None else full.n_insts,
+        method=method,
+        full_time=full.sim_time,
+        sampled_time=sampled.sim_time,
+        full_wall=full.wall_seconds,
+        sampled_wall=sampled.wall_seconds,
+        mode=dominant,
+        detail_fraction=detail / total if total else 1.0,
+    )

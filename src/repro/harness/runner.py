@@ -1,0 +1,184 @@
+"""Evaluation runners: full vs PKA vs Photon vs level ablations.
+
+Each method gets a freshly built kernel/application (same seed, hence
+identical workload and data) so that no method benefits from another's
+warm state, matching how the paper runs each configuration separately.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..baselines.inter_kernel import GTPin, Sieve
+from ..baselines.tbpoint import TBPoint
+from ..baselines.pka import PKA, PkaConfig
+from ..config.gpu_configs import GpuConfig
+from ..core.config import PhotonConfig
+from ..core.photon import AnalysisStore, Photon
+from ..errors import WorkloadError
+from ..functional.kernel import Application, Kernel
+from ..timing.simulator import (
+    AppResult,
+    KernelResult,
+    simulate_app_detailed,
+    simulate_kernel_detailed,
+)
+from ..workloads.base import REGISTRY
+from .defaults import EVAL_PHOTON, EVAL_R9NANO
+from .metrics import Comparison, compare_apps, compare_kernels
+
+KernelFactory = Callable[[], Kernel]
+AppFactory = Callable[[], Application]
+
+# the Figure 15/17 ablation configurations
+LEVEL_METHODS = {
+    "bb-sampling": dict(kernel=False, warp=False, bb=True),
+    "warp-sampling": dict(kernel=False, warp=True, bb=False),
+    "kernel-sampling": dict(kernel=True, warp=False, bb=False),
+    "kernel+warp": dict(kernel=True, warp=True, bb=False),
+    "photon": dict(kernel=True, warp=True, bb=True),
+}
+
+
+def workload_factory(name: str, size: int, **kwargs) -> KernelFactory:
+    """Factory for a registered single-kernel workload at ``size`` warps."""
+    if name not in REGISTRY:
+        raise WorkloadError(
+            f"unknown workload {name!r}; registered: {sorted(REGISTRY)}")
+    build = REGISTRY[name]
+    return lambda: build(size, **kwargs)
+
+
+def run_methods_kernel(
+    factory: KernelFactory,
+    workload: str,
+    size: int,
+    gpu: Optional[GpuConfig] = None,
+    methods: Sequence[str] = ("pka", "photon"),
+    photon_config: Optional[PhotonConfig] = None,
+    pka_config: Optional[PkaConfig] = None,
+) -> List[Comparison]:
+    """Run one kernel fully detailed plus each sampled method.
+
+    ``methods`` may contain "pka", "photon", or any key of
+    :data:`LEVEL_METHODS` (level ablations).
+    """
+    gpu = gpu or EVAL_R9NANO
+    photon_config = photon_config or EVAL_PHOTON
+    full = simulate_kernel_detailed(factory(), gpu)
+    rows = [Comparison(
+        workload=workload, size=size, method="full",
+        full_time=full.sim_time, sampled_time=full.sim_time,
+        full_wall=full.wall_seconds, sampled_wall=full.wall_seconds,
+        mode="full", detail_fraction=1.0,
+    )]
+    for method in methods:
+        sampled = _run_one_kernel(factory(), method, gpu,
+                                  photon_config, pka_config)
+        rows.append(compare_kernels(workload, size, method, full, sampled))
+    return rows
+
+
+def run_methods_app(
+    factory: AppFactory,
+    workload: str,
+    gpu: Optional[GpuConfig] = None,
+    methods: Sequence[str] = ("photon",),
+    photon_config: Optional[PhotonConfig] = None,
+    pka_config: Optional[PkaConfig] = None,
+) -> Dict[str, object]:
+    """Run an application fully detailed plus each sampled method.
+
+    Returns ``{"full": AppResult, method: AppResult, "rows": [Comparison]}``
+    so benches can also inspect per-kernel results (Figure 17).
+    """
+    gpu = gpu or EVAL_R9NANO
+    photon_config = photon_config or EVAL_PHOTON
+    full = simulate_app_detailed(factory(), gpu)
+    out: Dict[str, object] = {"full": full}
+    rows: List[Comparison] = []
+    for method in methods:
+        sampled = _run_one_app(factory(), method, gpu,
+                               photon_config, pka_config)
+        out[method] = sampled
+        rows.append(compare_apps(workload, method, full, sampled))
+    out["rows"] = rows
+    return out
+
+
+def _photon_for(method: str, gpu: GpuConfig,
+                config: PhotonConfig) -> Photon:
+    levels = LEVEL_METHODS.get(method)
+    if levels is None:
+        raise WorkloadError(
+            f"unknown method {method!r}; choose from "
+            f"{sorted(_BASELINES) + sorted(LEVEL_METHODS)}")
+    return Photon(gpu, config.with_levels(**levels))
+
+
+_BASELINES = {"pka": PKA, "sieve": Sieve, "gtpin": GTPin,
+              "tbpoint": TBPoint}
+
+
+def _run_one_kernel(kernel: Kernel, method: str, gpu: GpuConfig,
+                    photon_config: PhotonConfig,
+                    pka_config: Optional[PkaConfig]) -> KernelResult:
+    if method == "pka":
+        return PKA(gpu, pka_config).simulate_kernel(kernel)
+    if method in _BASELINES:
+        return _BASELINES[method](gpu).simulate_kernel(kernel)
+    return _photon_for(method, gpu, photon_config).simulate_kernel(kernel)
+
+
+def _run_one_app(app: Application, method: str, gpu: GpuConfig,
+                 photon_config: PhotonConfig,
+                 pka_config: Optional[PkaConfig]) -> AppResult:
+    if method == "pka":
+        return PKA(gpu, pka_config).simulate_app(app)
+    if method in _BASELINES:
+        return _BASELINES[method](gpu).simulate_app(app, method_name=method)
+    simulator = _photon_for(method, gpu, photon_config)
+    return simulator.simulate_app(app, method_name=method)
+
+
+def sweep_sizes(
+    workload: str,
+    sizes: Iterable[int],
+    gpu: Optional[GpuConfig] = None,
+    methods: Sequence[str] = ("pka", "photon"),
+    photon_config: Optional[PhotonConfig] = None,
+    **workload_kwargs,
+) -> List[Comparison]:
+    """Sweep a single-kernel workload over problem sizes (Figure 13/14)."""
+    rows: List[Comparison] = []
+    for size in sizes:
+        factory = workload_factory(workload, size, **workload_kwargs)
+        rows.extend(run_methods_kernel(
+            factory, workload, size, gpu=gpu, methods=methods,
+            photon_config=photon_config))
+    return rows
+
+
+def measure_online_offline(
+    factory: AppFactory,
+    gpu: Optional[GpuConfig] = None,
+    photon_config: Optional[PhotonConfig] = None,
+) -> Dict[str, float]:
+    """Section 6.3: wall time of online Photon vs offline (reused
+    analysis).  Returns wall seconds for both and the store hit count."""
+    gpu = gpu or EVAL_R9NANO
+    photon_config = photon_config or EVAL_PHOTON
+    store = AnalysisStore()
+    t0 = _time.perf_counter()
+    Photon(gpu, photon_config, analysis_store=store).simulate_app(factory())
+    online_wall = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    Photon(gpu, photon_config, analysis_store=store).simulate_app(factory())
+    offline_wall = _time.perf_counter() - t0
+    return {
+        "online_wall": online_wall,
+        "offline_wall": offline_wall,
+        "store_entries": float(len(store)),
+        "store_hits": float(store.hits),
+    }

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for benchmark output.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the output aligned and diff-friendly (EXPERIMENTS.md embeds
+them directly).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .metrics import Comparison
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    materialised: List[List[str]] = [[_cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def _cell(x: object) -> str:
+    if isinstance(x, float):
+        return f"{x:.2f}"
+    return str(x)
+
+
+def comparison_table(rows: Iterable[Comparison]) -> str:
+    """Standard error/speedup table for a set of comparison rows."""
+    headers = ("workload", "size", "method", "sim_time", "err_%",
+               "wall_s", "speedup", "mode", "detail_frac")
+    body = []
+    for row in rows:
+        body.append((
+            row.workload, row.size, row.method,
+            row.sampled_time, row.error_pct,
+            row.sampled_wall, row.speedup, row.mode,
+            row.detail_fraction,
+        ))
+    return format_table(headers, body)
+
+
+def series_table(name: str, xs: Sequence[float],
+                 ys: Sequence[float], x_label: str = "x",
+                 y_label: str = "y") -> str:
+    """Two-column series (the data behind a line/scatter figure)."""
+    headers = (x_label, y_label)
+    return f"# {name}\n" + format_table(
+        headers, [(float(x), float(y)) for x, y in zip(xs, ys)])

@@ -1,0 +1,44 @@
+"""GCN-flavoured mini ISA: opcodes, instructions, programs, assembler."""
+
+from .builder import KernelBuilder
+from .instructions import Instruction, MemAddr
+from .opcodes import (
+    Imm,
+    OpClass,
+    Opcode,
+    SReg,
+    VReg,
+    ends_basic_block,
+    imm,
+    is_branch,
+    op_class,
+    s,
+    v,
+)
+from .program import (
+    BasicBlock,
+    Program,
+    static_instruction_mix,
+    with_waitcnt_blocks,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Imm",
+    "Instruction",
+    "KernelBuilder",
+    "MemAddr",
+    "OpClass",
+    "Opcode",
+    "Program",
+    "SReg",
+    "VReg",
+    "ends_basic_block",
+    "imm",
+    "is_branch",
+    "op_class",
+    "s",
+    "static_instruction_mix",
+    "v",
+    "with_waitcnt_blocks",
+]

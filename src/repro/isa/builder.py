@@ -1,0 +1,259 @@
+"""KernelBuilder: a small assembler for writing kernels in Python.
+
+The builder provides one method per opcode plus label management.  Labels
+may be referenced before they are defined; :meth:`KernelBuilder.build`
+resolves them to absolute instruction indices and returns an immutable
+:class:`~repro.isa.program.Program`.
+
+Example
+-------
+>>> b = KernelBuilder("saxpy")
+>>> b.v_lane(v(0))
+>>> b.v_load(v(1), MemAddr(base=s(1), index=v(0)))
+>>> b.v_mul(v(1), v(1), s(2))
+>>> b.v_store(v(1), MemAddr(base=s(3), index=v(0)))
+>>> b.s_endpgm()
+>>> prog = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..errors import AssemblyError
+from .instructions import Instruction, MemAddr
+from .opcodes import Imm, Opcode, SReg, VReg, imm, s, v  # noqa: F401 (re-export)
+from .program import Program
+
+Src = Union[SReg, VReg, Imm, int, float]
+
+
+def _coerce(operand: Src):
+    """Turn bare Python numbers into immediates."""
+    if isinstance(operand, (int, float)):
+        return Imm(operand)
+    return operand
+
+
+class KernelBuilder:
+    """Incrementally assembles a :class:`Program`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._insts: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._pending: List[tuple] = []  # (inst index, label name)
+
+    # -- label management --------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define label ``name`` at the current position."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r} in {self.name!r}")
+        self._labels[name] = len(self._insts)
+
+    def _emit(self, opcode: Opcode, dst=None, srcs=(), mem=None,
+              label: Optional[str] = None) -> None:
+        target = None
+        if label is not None:
+            self._pending.append((len(self._insts), label))
+        self._insts.append(
+            Instruction(
+                opcode=opcode,
+                dst=dst,
+                srcs=tuple(_coerce(x) for x in srcs),
+                target=target,
+                mem=mem,
+            )
+        )
+
+    # -- scalar ALU ---------------------------------------------------------
+
+    def s_mov(self, dst: SReg, a: Src) -> None:
+        self._emit(Opcode.S_MOV, dst, (a,))
+
+    def s_add(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_ADD, dst, (a, b))
+
+    def s_sub(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_SUB, dst, (a, b))
+
+    def s_mul(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_MUL, dst, (a, b))
+
+    def s_min(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_MIN, dst, (a, b))
+
+    def s_max(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_MAX, dst, (a, b))
+
+    def s_and(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_AND, dst, (a, b))
+
+    def s_or(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_OR, dst, (a, b))
+
+    def s_lshl(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_LSHL, dst, (a, b))
+
+    def s_lshr(self, dst: SReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_LSHR, dst, (a, b))
+
+    def s_cmp_lt(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_CMP_LT, None, (a, b))
+
+    def s_cmp_le(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_CMP_LE, None, (a, b))
+
+    def s_cmp_eq(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_CMP_EQ, None, (a, b))
+
+    def s_cmp_ne(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_CMP_NE, None, (a, b))
+
+    def s_cmp_gt(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_CMP_GT, None, (a, b))
+
+    def s_cmp_ge(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.S_CMP_GE, None, (a, b))
+
+    def s_exec_from_vcc(self) -> None:
+        """EXEC ← VCC (enables masked tail handling)."""
+        self._emit(Opcode.S_EXEC_FROM_VCC)
+
+    def s_exec_all(self) -> None:
+        """EXEC ← all lanes active."""
+        self._emit(Opcode.S_EXEC_ALL)
+
+    # -- scalar memory -------------------------------------------------------
+
+    def s_load(self, dst: SReg, mem: MemAddr) -> None:
+        self._emit(Opcode.S_LOAD, dst, (), mem=mem)
+
+    # -- vector ALU -----------------------------------------------------------
+
+    def v_mov(self, dst: VReg, a: Src) -> None:
+        self._emit(Opcode.V_MOV, dst, (a,))
+
+    def v_add(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_ADD, dst, (a, b))
+
+    def v_sub(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_SUB, dst, (a, b))
+
+    def v_mul(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_MUL, dst, (a, b))
+
+    def v_mac(self, dst: VReg, a: Src, b: Src) -> None:
+        """dst += a * b (dst is both read and written)."""
+        self._emit(Opcode.V_MAC, dst, (a, b))
+
+    def v_fma(self, dst: VReg, a: Src, b: Src, c: Src) -> None:
+        self._emit(Opcode.V_FMA, dst, (a, b, c))
+
+    def v_min(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_MIN, dst, (a, b))
+
+    def v_max(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_MAX, dst, (a, b))
+
+    def v_and(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_AND, dst, (a, b))
+
+    def v_or(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_OR, dst, (a, b))
+
+    def v_xor(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_XOR, dst, (a, b))
+
+    def v_lshl(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_LSHL, dst, (a, b))
+
+    def v_lshr(self, dst: VReg, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_LSHR, dst, (a, b))
+
+    def v_cndmask(self, dst: VReg, a: Src, b: Src) -> None:
+        """dst[lane] = b if VCC[lane] else a."""
+        self._emit(Opcode.V_CNDMASK, dst, (a, b))
+
+    def v_lane(self, dst: VReg) -> None:
+        """dst[lane] = lane index (0..warp_size-1)."""
+        self._emit(Opcode.V_LANE, dst, ())
+
+    def v_cmp_lt(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_CMP_LT, None, (a, b))
+
+    def v_cmp_le(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_CMP_LE, None, (a, b))
+
+    def v_cmp_eq(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_CMP_EQ, None, (a, b))
+
+    def v_cmp_ne(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_CMP_NE, None, (a, b))
+
+    def v_cmp_gt(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_CMP_GT, None, (a, b))
+
+    def v_cmp_ge(self, a: Src, b: Src) -> None:
+        self._emit(Opcode.V_CMP_GE, None, (a, b))
+
+    # -- vector memory ---------------------------------------------------------
+
+    def v_load(self, dst: VReg, mem: MemAddr) -> None:
+        self._emit(Opcode.V_LOAD, dst, (), mem=mem)
+
+    def v_store(self, src: VReg, mem: MemAddr) -> None:
+        # the data source rides in the ``dst`` slot; Instruction.reads()
+        # accounts for it.
+        self._emit(Opcode.V_STORE, src, (), mem=mem)
+
+    # -- LDS -----------------------------------------------------------------
+
+    def ds_read(self, dst: VReg, index: Src) -> None:
+        self._emit(Opcode.DS_READ, dst, (index,))
+
+    def ds_write(self, index: Src, data: VReg) -> None:
+        self._emit(Opcode.DS_WRITE, None, (index, data))
+
+    # -- control ----------------------------------------------------------------
+
+    def s_branch(self, label: str) -> None:
+        self._emit(Opcode.S_BRANCH, label=label)
+
+    def s_cbranch_scc1(self, label: str) -> None:
+        """Branch to ``label`` when SCC is set."""
+        self._emit(Opcode.S_CBRANCH_SCC1, label=label)
+
+    def s_cbranch_scc0(self, label: str) -> None:
+        """Branch to ``label`` when SCC is clear."""
+        self._emit(Opcode.S_CBRANCH_SCC0, label=label)
+
+    def s_barrier(self) -> None:
+        self._emit(Opcode.S_BARRIER)
+
+    def s_waitcnt(self) -> None:
+        self._emit(Opcode.S_WAITCNT)
+
+    def s_endpgm(self) -> None:
+        self._emit(Opcode.S_ENDPGM)
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and return the immutable program."""
+        insts = list(self._insts)
+        for index, label in self._pending:
+            if label not in self._labels:
+                raise AssemblyError(
+                    f"undefined label {label!r} in kernel {self.name!r}"
+                )
+            old = insts[index]
+            insts[index] = Instruction(
+                opcode=old.opcode,
+                dst=old.dst,
+                srcs=old.srcs,
+                target=self._labels[label],
+                mem=old.mem,
+            )
+        return Program(self.name, insts)

@@ -1,0 +1,113 @@
+"""Instruction representation for the mini ISA.
+
+An :class:`Instruction` is a fully-resolved machine instruction: opcode,
+destination, sources, and — for memory operations — an addressing
+descriptor (:class:`MemAddr`).  Branch targets are resolved to absolute
+instruction indices by the assembler (:mod:`repro.isa.builder`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import Imm, Opcode, OpClass, SReg, VReg, op_class
+
+
+@dataclass(frozen=True)
+class MemAddr:
+    """Addressing descriptor for memory instructions.
+
+    The effective (word) address of lane *l* is::
+
+        base + index[l] * scale + offset
+
+    where ``base`` is a scalar register holding a word address, ``index``
+    is an optional vector register of per-lane indices, and ``scale`` /
+    ``offset`` are immediates.  Scalar loads ignore ``index``.
+    Addresses are in 8-byte words; a 64-byte cache line holds 8 words.
+    """
+
+    base: SReg
+    index: Optional[VReg] = None
+    scale: int = 1
+    offset: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [repr(self.base)]
+        if self.index is not None:
+            parts.append(f"{self.index!r}*{self.scale}")
+        if self.offset:
+            parts.append(str(self.offset))
+        return "[" + "+".join(parts) + "]"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    ``target`` is the absolute index of the branch destination (branches
+    only).  ``mem`` carries the addressing descriptor for memory ops.
+    """
+
+    opcode: Opcode
+    dst: Optional[object] = None
+    srcs: Tuple[object, ...] = field(default_factory=tuple)
+    target: Optional[int] = None
+    mem: Optional[MemAddr] = None
+
+    @property
+    def op_class(self) -> OpClass:
+        """Functional class used by the timing model."""
+        return op_class(self.opcode)
+
+    def reads(self) -> Tuple[object, ...]:
+        """Registers read by this instruction (excludes SCC/VCC/EXEC)."""
+        regs = [x for x in self.srcs if isinstance(x, (SReg, VReg))]
+        if self.mem is not None:
+            regs.append(self.mem.base)
+            if self.mem.index is not None:
+                regs.append(self.mem.index)
+        if self.opcode is Opcode.V_MAC and isinstance(self.dst, VReg):
+            regs.append(self.dst)  # MAC accumulates into dst
+        if self.opcode is Opcode.V_STORE and isinstance(self.dst, VReg):
+            regs.append(self.dst)  # "dst" of a store is the data source
+        return tuple(regs)
+
+    def writes(self) -> Tuple[object, ...]:
+        """Registers written by this instruction (excludes SCC/VCC/EXEC)."""
+        if self.opcode in (Opcode.V_STORE, Opcode.DS_WRITE):
+            return ()
+        if self.dst is not None and isinstance(self.dst, (SReg, VReg)):
+            return (self.dst,)
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.opcode.name.lower()
+        ops = []
+        if self.dst is not None:
+            ops.append(repr(self.dst))
+        ops.extend(repr(x) for x in self.srcs)
+        if self.mem is not None:
+            ops.append(repr(self.mem))
+        if self.target is not None:
+            ops.append(f"@{self.target}")
+        return f"{name} " + ", ".join(ops) if ops else name
+
+
+def validate_instruction(inst: Instruction) -> None:
+    """Raise :class:`~repro.errors.IsaError` if ``inst`` is malformed."""
+    from ..errors import IsaError
+
+    cls = inst.op_class
+    if cls is OpClass.BRANCH and inst.target is None:
+        raise IsaError(f"branch without a resolved target: {inst!r}")
+    if cls in (OpClass.SCALAR_MEM, OpClass.VECTOR_MEM) and inst.mem is None:
+        raise IsaError(f"memory instruction without addressing: {inst!r}")
+    if inst.opcode is Opcode.S_LOAD and not isinstance(inst.dst, SReg):
+        raise IsaError(f"s_load destination must be a scalar reg: {inst!r}")
+    if inst.opcode is Opcode.V_LOAD and not isinstance(inst.dst, VReg):
+        raise IsaError(f"v_load destination must be a vector reg: {inst!r}")
+    for src in inst.srcs:
+        if not isinstance(src, (SReg, VReg, Imm)):
+            raise IsaError(f"bad operand {src!r} in {inst!r}")

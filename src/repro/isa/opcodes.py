@@ -1,0 +1,208 @@
+"""Opcode and operand definitions for the GCN-flavoured mini ISA.
+
+The ISA mirrors the structure of AMD GCN assembly that the paper's
+workloads compile to: scalar ALU ops that drive uniform control flow,
+vector ALU ops that operate on all 64 lanes of a warp, scalar and vector
+memory operations, LDS (local data share) accesses, and the special
+instructions that matter to Photon's basic-block definition —
+``s_barrier`` (ends a basic block, Observation 3) and ``s_waitcnt``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpClass(enum.IntEnum):
+    """Functional class of an instruction; drives timing-model dispatch."""
+
+    SCALAR_ALU = 0
+    VECTOR_ALU = 1
+    SCALAR_MEM = 2
+    VECTOR_MEM = 3
+    LDS = 4
+    BRANCH = 5
+    BARRIER = 6
+    WAITCNT = 7
+    END = 8
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the functional and timing simulators."""
+
+    # --- scalar ALU ------------------------------------------------------
+    S_MOV = enum.auto()
+    S_ADD = enum.auto()
+    S_SUB = enum.auto()
+    S_MUL = enum.auto()
+    S_MIN = enum.auto()
+    S_MAX = enum.auto()
+    S_AND = enum.auto()
+    S_OR = enum.auto()
+    S_LSHL = enum.auto()
+    S_LSHR = enum.auto()
+    # comparisons write the scalar condition code (SCC)
+    S_CMP_LT = enum.auto()
+    S_CMP_LE = enum.auto()
+    S_CMP_EQ = enum.auto()
+    S_CMP_NE = enum.auto()
+    S_CMP_GT = enum.auto()
+    S_CMP_GE = enum.auto()
+    # EXEC-mask manipulation
+    S_EXEC_FROM_VCC = enum.auto()
+    S_EXEC_ALL = enum.auto()
+
+    # --- scalar memory ----------------------------------------------------
+    S_LOAD = enum.auto()
+
+    # --- vector ALU -------------------------------------------------------
+    V_MOV = enum.auto()
+    V_ADD = enum.auto()
+    V_SUB = enum.auto()
+    V_MUL = enum.auto()
+    V_MAC = enum.auto()
+    V_FMA = enum.auto()
+    V_MIN = enum.auto()
+    V_MAX = enum.auto()
+    V_AND = enum.auto()
+    V_OR = enum.auto()
+    V_XOR = enum.auto()
+    V_LSHL = enum.auto()
+    V_LSHR = enum.auto()
+    V_CNDMASK = enum.auto()
+    V_LANE = enum.auto()  # pseudo-op: dst[lane] = lane index
+    # vector comparisons write the VCC lane mask
+    V_CMP_LT = enum.auto()
+    V_CMP_LE = enum.auto()
+    V_CMP_EQ = enum.auto()
+    V_CMP_NE = enum.auto()
+    V_CMP_GT = enum.auto()
+    V_CMP_GE = enum.auto()
+
+    # --- vector memory ----------------------------------------------------
+    V_LOAD = enum.auto()
+    V_STORE = enum.auto()
+
+    # --- LDS ---------------------------------------------------------------
+    DS_READ = enum.auto()
+    DS_WRITE = enum.auto()
+
+    # --- control -----------------------------------------------------------
+    S_BRANCH = enum.auto()
+    S_CBRANCH_SCC1 = enum.auto()
+    S_CBRANCH_SCC0 = enum.auto()
+    S_BARRIER = enum.auto()
+    S_WAITCNT = enum.auto()
+    S_ENDPGM = enum.auto()
+
+
+_SCALAR_ALU = {
+    Opcode.S_MOV, Opcode.S_ADD, Opcode.S_SUB, Opcode.S_MUL, Opcode.S_MIN,
+    Opcode.S_MAX, Opcode.S_AND, Opcode.S_OR, Opcode.S_LSHL, Opcode.S_LSHR,
+    Opcode.S_CMP_LT, Opcode.S_CMP_LE, Opcode.S_CMP_EQ, Opcode.S_CMP_NE,
+    Opcode.S_CMP_GT, Opcode.S_CMP_GE, Opcode.S_EXEC_FROM_VCC,
+    Opcode.S_EXEC_ALL,
+}
+
+_VECTOR_ALU = {
+    Opcode.V_MOV, Opcode.V_ADD, Opcode.V_SUB, Opcode.V_MUL, Opcode.V_MAC,
+    Opcode.V_FMA, Opcode.V_MIN, Opcode.V_MAX, Opcode.V_AND, Opcode.V_OR,
+    Opcode.V_XOR, Opcode.V_LSHL, Opcode.V_LSHR, Opcode.V_CNDMASK,
+    Opcode.V_LANE, Opcode.V_CMP_LT, Opcode.V_CMP_LE, Opcode.V_CMP_EQ,
+    Opcode.V_CMP_NE, Opcode.V_CMP_GT, Opcode.V_CMP_GE,
+}
+
+_BRANCHES = {Opcode.S_BRANCH, Opcode.S_CBRANCH_SCC1, Opcode.S_CBRANCH_SCC0}
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the :class:`OpClass` of ``op``."""
+    if op in _SCALAR_ALU:
+        return OpClass.SCALAR_ALU
+    if op in _VECTOR_ALU:
+        return OpClass.VECTOR_ALU
+    if op is Opcode.S_LOAD:
+        return OpClass.SCALAR_MEM
+    if op in (Opcode.V_LOAD, Opcode.V_STORE):
+        return OpClass.VECTOR_MEM
+    if op in (Opcode.DS_READ, Opcode.DS_WRITE):
+        return OpClass.LDS
+    if op in _BRANCHES:
+        return OpClass.BRANCH
+    if op is Opcode.S_BARRIER:
+        return OpClass.BARRIER
+    if op is Opcode.S_WAITCNT:
+        return OpClass.WAITCNT
+    if op is Opcode.S_ENDPGM:
+        return OpClass.END
+    raise ValueError(f"unclassified opcode: {op}")
+
+
+def is_branch(op: Opcode) -> bool:
+    """True when ``op`` redirects (or may redirect) control flow."""
+    return op in _BRANCHES
+
+
+def ends_basic_block(op: Opcode) -> bool:
+    """True when ``op`` terminates a basic block.
+
+    Photon ends basic blocks at branch instructions *and* at ``s_barrier``
+    (Observation 3), so that inter-warp synchronisation latency is
+    attributed to its own block.  ``s_endpgm`` trivially ends the final
+    block.
+    """
+    return is_branch(op) or op in (Opcode.S_BARRIER, Opcode.S_ENDPGM)
+
+
+# --------------------------------------------------------------------------
+# Operands
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SReg:
+    """Scalar register: one value shared by the whole warp."""
+
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"s{self.index}"
+
+
+@dataclass(frozen=True)
+class VReg:
+    """Vector register: one value per lane (64 lanes per warp)."""
+
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"v{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate (literal) operand."""
+
+    value: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"#{self.value}"
+
+
+Operand = object  # SReg | VReg | Imm (kept loose for Python 3.9 support)
+
+
+def s(index: int) -> SReg:
+    """Shorthand scalar-register constructor."""
+    return SReg(index)
+
+
+def v(index: int) -> VReg:
+    """Shorthand vector-register constructor."""
+    return VReg(index)
+
+
+def imm(value: float) -> Imm:
+    """Shorthand immediate constructor."""
+    return Imm(value)

@@ -1,0 +1,158 @@
+"""Cache and DRAM timing models.
+
+Set-associative LRU caches with a simple port/bandwidth model: each cache
+(or bank, or DRAM channel) services one transaction per ``service``
+cycles, and requests queue behind the port.  Contention through these
+shared ports is what produces the warm-up-then-stabilise execution-time
+behaviour Photon's detectors key on.
+
+Timing-only: the data itself lives in
+:class:`~repro.functional.memory.GlobalMemory`; the timing model sees
+only line numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config.gpu_configs import CacheGeometry, GpuConfig
+
+
+class Dram:
+    """Bandwidth-limited DRAM: ``channels`` independently-queued channels."""
+
+    def __init__(self, latency: int, service: int, channels: int):
+        self.latency = latency
+        self.service = service
+        self.channels = channels
+        self._busy = [0.0] * channels
+        self.accesses = 0
+
+    def access(self, line: int, now: float) -> float:
+        """Access ``line`` at time ``now``; return completion time."""
+        chan = line % self.channels
+        start = self._busy[chan] if self._busy[chan] > now else now
+        self._busy[chan] = start + self.service
+        self.accesses += 1
+        return start + self.latency
+
+    def reset(self) -> None:
+        """Clear port state and counters (new kernel launch)."""
+        self._busy = [0.0] * self.channels
+        self.accesses = 0
+
+
+class Cache:
+    """One set-associative LRU cache with a single queued port."""
+
+    def __init__(self, geometry: CacheGeometry, latency: int, service: int,
+                 next_level):
+        self.n_sets = geometry.n_sets
+        self.assoc = geometry.assoc
+        self.latency = latency
+        self.service = service
+        self.next_level = next_level
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self._busy = 0.0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int, now: float) -> float:
+        """Access ``line`` at ``now``; return completion time.
+
+        Hits complete after queueing + hit latency.  Misses are filled
+        from the next level (write-allocate; stores follow the same
+        path).
+        """
+        start = self._busy if self._busy > now else now
+        self._busy = start + self.service
+        ways = self._sets[line % self.n_sets]
+        if line in ways:
+            self.hits += 1
+            ways.remove(line)
+            ways.append(line)
+            return start + self.latency
+        self.misses += 1
+        completion = self.next_level.access(line, start + self.latency)
+        ways.append(line)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+        return completion
+
+    def reset_timing(self) -> None:
+        """Clear port state and counters but keep cached contents.
+
+        Contents persist across kernels of one application (warm caches),
+        matching execution-driven simulators.
+        """
+        self._busy = 0.0
+        self.hits = 0
+        self.misses = 0
+
+
+class MemoryHierarchy:
+    """Per-GPU cache/DRAM assembly: per-CU L1V, grouped L1K, banked L2."""
+
+    def __init__(self, config: GpuConfig):
+        self.config = config
+        self.dram = Dram(config.dram_lat, config.dram_service,
+                         config.dram_channels)
+        self.l2_banks = [
+            Cache(config.l2, config.l2_lat, config.l2_service, self.dram)
+            for _ in range(config.l2_banks)
+        ]
+        l2 = _Banked(self.l2_banks)
+        self.l1v = [
+            Cache(config.l1v, config.l1_lat, config.l1_service, l2)
+            for _ in range(config.n_cu)
+        ]
+        n_groups = config.n_cu // config.cus_per_l1_group
+        self.l1k = [
+            Cache(config.l1k, config.l1_lat, config.l1_service, l2)
+            for _ in range(max(1, n_groups))
+        ]
+        self._group_of = [
+            min(cu // config.cus_per_l1_group, len(self.l1k) - 1)
+            for cu in range(config.n_cu)
+        ]
+
+    def vector_access(self, cu: int, line: int, now: float) -> float:
+        """Vector memory transaction through the CU's L1V."""
+        return self.l1v[cu].access(line, now)
+
+    def scalar_access(self, cu: int, line: int, now: float) -> float:
+        """Scalar memory transaction through the CU group's L1K."""
+        return self.l1k[self._group_of[cu]].access(line, now)
+
+    def reset_timing(self) -> None:
+        """Reset port state/counters for a new kernel (contents kept)."""
+        self.dram.reset()
+        for cache in self.l2_banks:
+            cache.reset_timing()
+        for cache in self.l1v:
+            cache.reset_timing()
+        for cache in self.l1k:
+            cache.reset_timing()
+
+    def stats(self) -> dict:
+        """Aggregate hit/miss counters for reporting."""
+        return {
+            "l1v_hits": sum(c.hits for c in self.l1v),
+            "l1v_misses": sum(c.misses for c in self.l1v),
+            "l1k_hits": sum(c.hits for c in self.l1k),
+            "l1k_misses": sum(c.misses for c in self.l1k),
+            "l2_hits": sum(c.hits for c in self.l2_banks),
+            "l2_misses": sum(c.misses for c in self.l2_banks),
+            "dram_accesses": self.dram.accesses,
+        }
+
+
+class _Banked:
+    """Routes accesses to L2 banks by line number."""
+
+    def __init__(self, banks: List[Cache]):
+        self._banks = banks
+        self._n = len(banks)
+
+    def access(self, line: int, now: float) -> float:
+        return self._banks[line % self._n].access(line, now)

@@ -1,0 +1,120 @@
+"""Scheduler-only fast model.
+
+When a sampling level switches away from detailed simulation, the time of
+the remaining warps is *predicted* rather than simulated.  Photon still
+"simulates the scheduler" (paper §4.2): warps occupy CU slots for their
+predicted durations, so dispatch serialisation — the dominant effect once
+per-warp times are known — is retained while per-instruction events are
+skipped entirely.  This model is what makes sampled modes orders of
+magnitude cheaper than detailed mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..config.gpu_configs import GpuConfig
+from ..errors import ConfigError
+from ..functional.kernel import Kernel
+
+
+class FastModelResult:
+    """Outcome of a scheduler-only simulation."""
+
+    def __init__(self) -> None:
+        self.end_time: float = 0.0
+        self.warp_times: Dict[int, Tuple[float, float]] = {}
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.warp_times)
+
+
+def schedule_only(
+    kernel: Kernel,
+    warp_ids: Sequence[int],
+    durations: Mapping[int, float],
+    config: GpuConfig,
+    start_time: float = 0.0,
+    cu_slot_free: Optional[Mapping[int, Iterable[float]]] = None,
+) -> FastModelResult:
+    """Simulate only workgroup dispatch for ``warp_ids``.
+
+    ``durations[warp_id]`` is the predicted execution time of each warp.
+    ``cu_slot_free`` optionally seeds per-CU slot-release times from a
+    detailed-mode prefix (slots still held by draining warps).  Workgroups
+    are dispatched in order whenever a CU has enough free slots, matching
+    the detailed engine's dispatcher.
+    """
+    if kernel.wg_size > config.max_warps_per_cu:
+        raise ConfigError(
+            f"workgroup of {kernel.wg_size} warps exceeds CU capacity "
+            f"{config.max_warps_per_cu}"
+        )
+    result = FastModelResult()
+    result.end_time = start_time
+    if not warp_ids:
+        return result
+
+    # group the remaining warps into their workgroups, preserving order
+    wg_groups: List[List[int]] = []
+    current_wg = None
+    for warp_id in warp_ids:
+        wg = kernel.workgroup_of(warp_id)
+        if wg != current_wg:
+            wg_groups.append([])
+            current_wg = wg
+        wg_groups[-1].append(warp_id)
+
+    n_cu = config.n_cu
+    free_slots = [config.max_warps_per_cu] * n_cu
+    # events: (time, seq, cu) — one slot of ``cu`` frees at ``time``
+    heap: List[Tuple[float, int, int]] = []
+    seq = 0
+    if cu_slot_free:
+        for cu, times in cu_slot_free.items():
+            for t in times:
+                free_slots[cu] -= 1
+                heapq.heappush(heap, (t, seq, cu))
+                seq += 1
+    if min(free_slots) < 0:
+        raise ConfigError("cu_slot_free oversubscribes a compute unit")
+
+    wg_next = 0
+
+    def try_dispatch(cu: int, time: float) -> bool:
+        """Dispatch the next workgroup onto ``cu`` if it fits (one only)."""
+        nonlocal wg_next, seq
+        if wg_next >= len(wg_groups):
+            return False
+        warps = wg_groups[wg_next]
+        if free_slots[cu] < len(warps):
+            return False
+        free_slots[cu] -= len(warps)
+        wg_next += 1
+        for warp_id in warps:
+            end = time + durations[warp_id]
+            result.warp_times[warp_id] = (time, end)
+            if end > result.end_time:
+                result.end_time = end
+            heapq.heappush(heap, (end, seq, cu))
+            seq += 1
+        return True
+
+    # initial fill, round-robin across CUs (one workgroup per CU per round,
+    # matching the detailed engine's dispatcher)
+    progress = True
+    while progress and wg_next < len(wg_groups):
+        progress = False
+        for cu in range(n_cu):
+            if try_dispatch(cu, start_time):
+                progress = True
+
+    while heap and wg_next < len(wg_groups):
+        time, _, cu = heapq.heappop(heap)
+        free_slots[cu] += 1
+        while try_dispatch(cu, time):
+            pass
+
+    return result

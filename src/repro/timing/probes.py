@@ -1,0 +1,73 @@
+"""Measurement listeners for the detailed engine.
+
+These probes are used by the observation-figure reproductions (Figures
+1–4 of the paper) and by the tests; the sampling methodologies have their
+own listeners in :mod:`repro.core` and :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .engine import EngineListener
+
+
+class BBProbe(EngineListener):
+    """Records every dynamic basic-block execution.
+
+    ``records[bb_pc]`` is a list of ``(issue_time, end_time)`` tuples in
+    retirement order — the data behind Figures 2 and 3.  The *execution
+    time* of a dynamic block is ``end - issue``, i.e. the interval between
+    the issue of its first instruction and the issue of the next block's
+    first instruction, matching the paper's definition.
+    """
+
+    def __init__(self, track_pcs: Optional[set] = None):
+        self.track_pcs = track_pcs
+        self.records: Dict[int, List[Tuple[float, float]]] = {}
+
+    def on_bb_complete(self, warp_id: int, bb_pc: int, start: float,
+                       end: float) -> None:
+        if self.track_pcs is not None and bb_pc not in self.track_pcs:
+            return
+        self.records.setdefault(bb_pc, []).append((start, end))
+
+    def dominating_pc(self) -> int:
+        """PC of the block with the largest total execution time."""
+        if not self.records:
+            raise ValueError("no basic blocks recorded")
+        return max(
+            self.records,
+            key=lambda pc: sum(e - s for s, e in self.records[pc]),
+        )
+
+    def exec_times(self, bb_pc: int) -> List[float]:
+        """Execution times of block ``bb_pc`` in retirement order."""
+        return [e - s for s, e in self.records.get(bb_pc, [])]
+
+
+class WarpProbe(EngineListener):
+    """Records per-warp (issue, retired) times — data behind Figure 4."""
+
+    def __init__(self) -> None:
+        self.times: List[Tuple[int, float, float]] = []
+
+    def on_warp_retired(self, warp_id: int, dispatch: float,
+                        retire: float) -> None:
+        self.times.append((warp_id, dispatch, retire))
+
+    def issue_retire_pairs(self) -> List[Tuple[float, float]]:
+        """(issue, retired) pairs in retirement order."""
+        return [(d, r) for _, d, r in self.times]
+
+
+def ipc_over_time(series: List[int], bucket: float) -> List[Tuple[float, float]]:
+    """Convert an engine's retired-instruction histogram to an IPC curve.
+
+    Returns ``(time, ipc)`` points, one per bucket — the data behind
+    Figure 1.
+    """
+    return [
+        ((idx + 0.5) * bucket, count / bucket)
+        for idx, count in enumerate(series)
+    ]

@@ -1,0 +1,114 @@
+"""Full-detailed simulation facade.
+
+:func:`simulate_kernel_detailed` runs one kernel start-to-finish in
+detailed mode and returns a :class:`KernelResult`;
+:func:`simulate_app_detailed` runs a whole application, keeping the cache
+hierarchy warm across launches (as an execution-driven simulator would).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config.gpu_configs import GpuConfig
+from ..functional.kernel import Application, Kernel
+from .caches import MemoryHierarchy
+from .engine import DetailedEngine, EngineListener
+
+
+@dataclass
+class KernelResult:
+    """Simulated outcome of one kernel under one methodology."""
+
+    kernel_name: str
+    sim_time: float  # predicted/measured kernel execution time (cycles)
+    wall_seconds: float  # host wall time spent producing the estimate
+    n_insts: int  # dynamic instructions (detailed + predicted)
+    mode: str  # "full", "bb", "warp", "kernel", "pka", ...
+    detail_insts: int = 0  # instructions actually simulated in detail
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of instructions simulated in detailed mode."""
+        if self.n_insts == 0:
+            return 0.0
+        return self.detail_insts / self.n_insts
+
+
+@dataclass
+class AppResult:
+    """Simulated outcome of a whole application."""
+
+    app_name: str
+    method: str
+    kernels: List[KernelResult] = field(default_factory=list)
+
+    @property
+    def sim_time(self) -> float:
+        """Total predicted execution time (cycles) across all kernels."""
+        return sum(k.sim_time for k in self.kernels)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total host wall time across all kernels."""
+        return sum(k.wall_seconds for k in self.kernels)
+
+    @property
+    def n_insts(self) -> int:
+        return sum(k.n_insts for k in self.kernels)
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    def mode_counts(self) -> Dict[str, int]:
+        """How many kernels used each sampling mode."""
+        counts: Dict[str, int] = {}
+        for k in self.kernels:
+            counts[k.mode] = counts.get(k.mode, 0) + 1
+        return counts
+
+
+def simulate_kernel_detailed(
+    kernel: Kernel,
+    config: GpuConfig,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    listeners: Optional[List[EngineListener]] = None,
+    ipc_bucket: Optional[float] = None,
+) -> KernelResult:
+    """Run ``kernel`` fully in detailed mode."""
+    start = _time.perf_counter()
+    engine = DetailedEngine(kernel, config, hierarchy=hierarchy,
+                            ipc_bucket=ipc_bucket)
+    for listener in listeners or ():
+        engine.attach(listener)
+    res = engine.run()
+    wall = _time.perf_counter() - start
+    result = KernelResult(
+        kernel_name=kernel.name,
+        sim_time=res.end_time,
+        wall_seconds=wall,
+        n_insts=res.n_insts,
+        mode="full",
+        detail_insts=res.n_insts,
+    )
+    result.meta["mem_stats"] = res.mem_stats
+    if res.ipc_series is not None:
+        result.meta["ipc_series"] = res.ipc_series
+        result.meta["ipc_bucket"] = res.ipc_bucket
+    return result
+
+
+def simulate_app_detailed(app: Application, config: GpuConfig) -> AppResult:
+    """Run every kernel of ``app`` fully in detailed mode (warm caches)."""
+    result = AppResult(app_name=app.name, method="full")
+    hierarchy = MemoryHierarchy(config)
+    for kernel in app.kernels:
+        hierarchy.reset_timing()
+        result.kernels.append(
+            simulate_kernel_detailed(kernel, config, hierarchy=hierarchy)
+        )
+    return result

@@ -1,0 +1,74 @@
+"""Trace-driven front end: cached functional traces.
+
+The paper classifies GPU simulators into execution-driven (MGPUSim,
+GPGPU-Sim) and trace-driven (MacSim), with Accel-Sim/NVArchSim
+supporting both.  Our engine is execution-driven by default — each warp
+is functionally emulated at dispatch — but repeated timing runs of the
+same kernel (design-space sweeps, ablations, repeated benches) re-pay
+that cost every time.
+
+:class:`TraceCache` memoises FULL-mode warp traces per (program
+fingerprint, grid, warp), turning the engine into a trace-driven
+simulator on second and later runs.  Traces are microarchitecture
+independent (they contain opcode classes, dependencies and line
+addresses — no timing), so a cache can be safely shared across GPU
+configurations; this is the same observation that makes Photon's
+offline analysis reusable (§6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..functional.executor import FunctionalExecutor
+from ..functional.kernel import Kernel
+from ..functional.trace import WarpTrace
+
+
+class TraceCache:
+    """Memoises functional warp traces across engine runs."""
+
+    def __init__(self, max_traces: int = 1 << 20):
+        self._traces: Dict[Tuple[int, int, int, int], WarpTrace] = {}
+        self._executors: Dict[Tuple[int, int, int], FunctionalExecutor] = {}
+        self.max_traces = max_traces
+        self.hits = 0
+        self.misses = 0
+
+    def provider(self, kernel: Kernel):
+        """A ``trace_provider`` for :class:`DetailedEngine`.
+
+        Usage::
+
+            cache = TraceCache()
+            engine = DetailedEngine(kernel, gpu,
+                                    trace_provider=cache.provider(kernel))
+        """
+        kernel_key = (kernel.program.fingerprint, kernel.n_warps,
+                      kernel.wg_size)
+        executor = self._executors.get(kernel_key)
+        if executor is None:
+            executor = FunctionalExecutor(kernel)
+            self._executors[kernel_key] = executor
+
+        def provide(warp_id: int) -> WarpTrace:
+            key = kernel_key + (warp_id,)
+            trace = self._traces.get(key)
+            if trace is not None:
+                self.hits += 1
+                return trace
+            self.misses += 1
+            trace = executor.run_warp_full(warp_id)
+            if len(self._traces) < self.max_traces:
+                self._traces[key] = trace
+            return trace
+
+        return provide
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def clear(self) -> None:
+        """Drop all cached traces (keeps counters)."""
+        self._traces.clear()
+        self._executors.clear()

@@ -1,0 +1,30 @@
+"""Benchmark workloads (paper Table 2).
+
+Importing this package populates :data:`repro.workloads.base.REGISTRY`
+with every single-kernel workload factory; multi-kernel applications
+(PageRank, VGG, ResNet) have their own builders.
+"""
+
+from .aes import build_aes
+from .base import REGISTRY, WARP_SIZE
+from .dnn import build_resnet, build_vgg
+from .fir import build_fir
+from .mm import build_mm
+from .pagerank import build_pagerank
+from .relu import build_relu
+from .sc import build_sc
+from .spmv import build_spmv
+
+__all__ = [
+    "REGISTRY",
+    "WARP_SIZE",
+    "build_aes",
+    "build_fir",
+    "build_mm",
+    "build_pagerank",
+    "build_relu",
+    "build_resnet",
+    "build_sc",
+    "build_spmv",
+    "build_vgg",
+]

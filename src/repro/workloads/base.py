@@ -1,0 +1,59 @@
+"""Shared infrastructure for the benchmark workloads (paper Table 2).
+
+Each workload module exposes a ``build_<name>(n_warps, ...) -> Kernel``
+factory (or an ``Application`` factory for multi-kernel workloads).  All
+kernels follow the register conventions of
+:mod:`repro.functional.kernel`: ``s0`` = warp id, ``s1`` = workgroup id,
+``s2`` = warp index within the workgroup; kernel arguments are loaded
+from ``s4`` upward by the argument callback.
+
+Problem sizes are defined by the number of warps, exactly as in the
+paper's evaluation ("we run all benchmarks using various problem sizes,
+which are defined by the number of warps").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..functional.kernel import DEFAULT_WARP_SIZE, Kernel
+from ..functional.memory import GlobalMemory
+from ..isa.builder import KernelBuilder
+from ..isa.opcodes import s, v
+
+WARP_SIZE = DEFAULT_WARP_SIZE
+
+# factory registry filled by the workload modules; the harness sweeps it
+REGISTRY: Dict[str, Callable[..., Kernel]] = {}
+
+
+def register(name: str):
+    """Decorator adding a kernel factory to the sweep registry."""
+
+    def wrap(fn):
+        REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
+
+def check_n_warps(n_warps: int) -> None:
+    """Validate a problem size."""
+    if n_warps <= 0:
+        raise WorkloadError(f"n_warps must be positive, got {n_warps}")
+
+
+def emit_global_index(builder: KernelBuilder, dst_vreg: int = 0,
+                      tmp_sreg: int = 3) -> None:
+    """Emit ``v[dst] = warp_id * WARP_SIZE + lane`` (global element id)."""
+    builder.v_lane(v(dst_vreg))
+    builder.s_mul(s(tmp_sreg), s(0), WARP_SIZE)
+    builder.v_add(v(dst_vreg), v(dst_vreg), s(tmp_sreg))
+
+
+def default_rng(seed: int) -> np.random.Generator:
+    """Deterministic per-workload random generator."""
+    return np.random.default_rng(seed)

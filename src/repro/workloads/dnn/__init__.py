@@ -1,0 +1,20 @@
+"""DNN workloads: layer kernels and the VGG / ResNet model builders."""
+
+from .layers import (
+    LayerFactory,
+    build_add_program,
+    build_conv_program,
+    build_pool_program,
+)
+from .resnet import build_resnet
+from .vgg import build_vgg, vgg_layer_names
+
+__all__ = [
+    "LayerFactory",
+    "build_add_program",
+    "build_conv_program",
+    "build_pool_program",
+    "build_resnet",
+    "build_vgg",
+    "vgg_layer_names",
+]

@@ -1,0 +1,74 @@
+"""VGG-16 / VGG-19 inference (batch size 1) as kernel-launch sequences.
+
+Layer names match the paper's Figure 17 (conv1-1 … conv5-3, fc-6 …
+fc-8).  Dimensions are the published architecture scaled down (input
+224² → 32², channels ÷8, classifier 4096 → 512) so that one
+full-detailed inference is tractable in Python; the *relative* layer
+structure — which is what Photon's kernel-sampling clusters on — is
+preserved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...errors import WorkloadError
+from ...functional.kernel import Application
+from ...functional.memory import GlobalMemory
+from .layers import LayerFactory
+
+# channels per conv block, scaled ÷8 from (64, 128, 256, 512, 512)
+_BLOCK_CHANNELS = (8, 16, 32, 64, 64)
+_CONVS_PER_BLOCK = {16: (2, 2, 3, 3, 3), 19: (2, 2, 4, 4, 4)}
+_INPUT_CHANNELS = 4  # RGB rounded up to a power of two
+_INPUT_SPATIAL = 32  # 224 scaled
+_FC_WIDTH = 512  # 4096 scaled
+_N_CLASSES = 128  # 1000 rounded
+
+
+def build_vgg(depth: int = 16,
+              memory: Optional[GlobalMemory] = None,
+              wg_size: int = 4) -> Application:
+    """One inference of VGG-``depth`` (16 or 19) with batch size 1."""
+    if depth not in _CONVS_PER_BLOCK:
+        raise WorkloadError(f"VGG depth must be 16 or 19, got {depth}")
+    factory = LayerFactory(memory=memory, max_act_words=1 << 14,
+                           max_weight_words=1 << 19, wg_size=wg_size)
+    app = Application(name=f"vgg{depth}")
+    spatial = _INPUT_SPATIAL
+    c_in = _INPUT_CHANNELS
+    slot = 0
+    for block, (c_out, n_convs) in enumerate(
+            zip(_BLOCK_CHANNELS, _CONVS_PER_BLOCK[depth]), start=1):
+        for conv in range(1, n_convs + 1):
+            app.launch(factory.conv2d(
+                name=f"conv{block}-{conv}",
+                h_out=spatial, w_out=spatial,
+                c_in=c_in, c_out=c_out,
+                in_slot=slot, out_slot=slot + 1,
+            ))
+            c_in = c_out
+            slot += 1
+        spatial //= 2
+        app.launch(factory.pool2d(
+            name=f"pool{block}",
+            h_out=spatial, w_out=spatial, c=c_out,
+            in_slot=slot, out_slot=slot + 1,
+        ))
+        slot += 1
+    # classifier: fc-6 / fc-7 / fc-8 (Figure 17 naming)
+    flat = c_in * spatial * spatial
+    for index, (n_in, n_out) in enumerate(
+            [(flat, _FC_WIDTH), (_FC_WIDTH, _FC_WIDTH),
+             (_FC_WIDTH, _N_CLASSES)], start=6):
+        app.launch(factory.dense(
+            name=f"fc-{index}", n_in=n_in, n_out=n_out,
+            in_slot=slot, out_slot=slot + 1,
+        ))
+        slot += 1
+    return app
+
+
+def vgg_layer_names(depth: int = 16) -> List[str]:
+    """Layer names in launch order (used by the Figure 17 bench)."""
+    return [kernel.name for kernel in build_vgg(depth).kernels]

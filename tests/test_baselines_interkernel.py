@@ -1,0 +1,96 @@
+"""GT-Pin and Sieve inter-kernel baselines."""
+
+import pytest
+
+from repro.baselines import GTPin, Sieve
+from repro.errors import ConfigError
+from repro.functional import Application
+from repro.workloads import build_pagerank
+
+from conftest import make_loop_kernel, make_vecadd
+
+
+def test_sieve_requires_valid_bucket_ratio(tiny_gpu):
+    with pytest.raises(ConfigError):
+        Sieve(tiny_gpu, bucket_ratio=1.0)
+
+
+@pytest.mark.parametrize("cls", [Sieve, GTPin])
+def test_first_launch_is_detailed(cls, tiny_gpu):
+    result = cls(tiny_gpu).simulate_kernel(make_vecadd(n_warps=8))
+    assert result.mode.endswith("-full")
+    assert result.detail_insts == result.n_insts
+
+
+@pytest.mark.parametrize("cls", [Sieve, GTPin])
+def test_repeat_launch_is_projected(cls, tiny_gpu):
+    sampler = cls(tiny_gpu)
+    app = Application("twice")
+    app.launch(make_vecadd(n_warps=16))
+    app.launch(make_vecadd(n_warps=16))
+    result = sampler.simulate_app(app)
+    assert result.kernels[1].mode.endswith("-kernel")
+    assert result.kernels[1].detail_insts == 0
+    assert result.kernels[1].sim_time == pytest.approx(
+        result.kernels[0].sim_time)
+
+
+def test_sieve_projection_scales_with_instruction_count(tiny_gpu):
+    """Within one (name, count-bucket) stratum, time scales by insts."""
+    sampler = Sieve(tiny_gpu, bucket_ratio=3.0)  # wide buckets
+    app = Application("scaled")
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 6))
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 7))
+    result = sampler.simulate_app(app)
+    assert result.kernels[1].mode == "sieve-kernel"
+    ratio = result.kernels[1].n_insts / result.kernels[0].n_insts
+    assert result.kernels[1].sim_time == pytest.approx(
+        result.kernels[0].sim_time * ratio)
+
+
+def test_sieve_different_buckets_not_merged(tiny_gpu):
+    sampler = Sieve(tiny_gpu, bucket_ratio=1.1)  # narrow buckets
+    app = Application("spread")
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 2))
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 20))
+    result = sampler.simulate_app(app)
+    assert result.kernels[1].mode == "sieve-full"
+
+
+def test_gtpin_distinguishes_block_structure(tiny_gpu):
+    sampler = GTPin(tiny_gpu)
+    app = Application("mixed")
+    app.launch(make_vecadd(n_warps=16))
+    app.launch(make_loop_kernel(n_warps=16, trips_of=lambda w: 4))
+    result = sampler.simulate_app(app)
+    # different programs (different names/blocks): both detailed
+    assert result.kernels[1].mode == "gtpin-full"
+
+
+def test_gtpin_blind_to_data_dependent_behaviour(tiny_gpu):
+    """The paper's critique of name/static-feature keying: two launches
+    with identical static structure but different dynamic trip counts
+    are merged — and mispredicted — by GT-Pin-style selection."""
+    sampler = GTPin(tiny_gpu)
+    app = Application("trap")
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 2))
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 40))
+    result = sampler.simulate_app(app)
+    assert result.kernels[1].mode == "gtpin-kernel"  # wrongly merged
+    # projection scales by instruction ratio, but per-warp behaviour
+    # differs: prediction deviates from a full run of the same kernel
+    from repro.timing import simulate_kernel_detailed
+
+    full = simulate_kernel_detailed(
+        make_loop_kernel(n_warps=32, trips_of=lambda w: 40), tiny_gpu)
+    assert result.kernels[1].sim_time != pytest.approx(
+        full.sim_time, rel=0.02)
+
+
+def test_pagerank_iterations_skipped(tiny_gpu):
+    app = build_pagerank(128, iterations=4)
+    result = Sieve(tiny_gpu).simulate_app(app, method_name="sieve")
+    modes = [k.mode for k in result.kernels]
+    assert modes[0] == "sieve-full"
+    assert modes[1:] == ["sieve-kernel"] * 3
+    assert result.method == "sieve"

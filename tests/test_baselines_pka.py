@@ -1,0 +1,104 @@
+"""PKA baseline: profiling, IPC stability monitor, kernel clustering."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import PKA, PkaConfig, feature_distance
+from repro.baselines.pka import _KernelFeatures
+from repro.errors import ConfigError
+from repro.functional import Application
+from repro.timing import simulate_kernel_detailed
+
+from conftest import make_loop_kernel, make_vecadd
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        PkaConfig(s=0.0)
+    with pytest.raises(ConfigError):
+        PkaConfig(window_cycles=100.0, bucket_cycles=100.0)
+    assert PkaConfig().history_buckets == 30
+
+
+def test_profile_counts_every_warp(tiny_gpu):
+    pka = PKA(tiny_gpu)
+    kernel = make_vecadd(n_warps=10)
+    features = pka._profile(kernel)
+    assert features.total_insts == 10 * 9
+    assert features.n_warps == 10
+    assert features.mix.sum() == pytest.approx(1.0)
+
+
+def test_feature_distance_symmetry():
+    a = _KernelFeatures(mix=np.array([0.5, 0.5]), n_warps=1, total_insts=1)
+    b = _KernelFeatures(mix=np.array([1.0, 0.0]), n_warps=1, total_insts=1)
+    assert feature_distance(a, b) == feature_distance(b, a)
+    assert feature_distance(a, a) == 0.0
+
+
+def test_small_kernel_runs_full(tiny_gpu):
+    kernel = make_vecadd(n_warps=8)
+    result = PKA(tiny_gpu).simulate_kernel(kernel)
+    assert result.mode == "pka-full"
+    full = simulate_kernel_detailed(make_vecadd(n_warps=8), tiny_gpu)
+    assert result.sim_time == full.sim_time
+
+
+def test_ipc_extrapolation_on_long_kernel(tiny_gpu):
+    config = PkaConfig(window_cycles=500.0, bucket_cycles=50.0)
+    kernel = make_loop_kernel(n_warps=600, trips_of=lambda w: 8)
+    result = PKA(tiny_gpu, config).simulate_kernel(kernel)
+    assert result.mode == "pka-ipc"
+    assert result.detail_insts < result.n_insts
+    full = simulate_kernel_detailed(
+        make_loop_kernel(n_warps=600, trips_of=lambda w: 8), tiny_gpu)
+    err = abs(full.sim_time - result.sim_time) / full.sim_time
+    assert err < 0.5  # extrapolation, not exactness
+
+
+def test_kernel_clustering_skips_repeats(tiny_gpu):
+    pka = PKA(tiny_gpu)
+    app = Application("repeat")
+    app.launch(make_vecadd(n_warps=16))
+    app.launch(make_vecadd(n_warps=16))
+    result = pka.simulate_app(app)
+    assert result.kernels[0].mode.startswith("pka")
+    assert result.kernels[1].mode == "pka-kernel"
+    assert result.kernels[1].detail_insts == 0
+    assert result.kernels[1].sim_time == pytest.approx(
+        result.kernels[0].sim_time)
+
+
+def test_kernel_clustering_scales_by_instruction_ratio(tiny_gpu):
+    pka = PKA(tiny_gpu)
+    app = Application("scaled")
+    app.launch(make_vecadd(n_warps=16))
+    app.launch(make_vecadd(n_warps=32))  # same mix, 2x the instructions
+    result = pka.simulate_app(app)
+    assert result.kernels[1].mode == "pka-kernel"
+    assert result.kernels[1].sim_time == pytest.approx(
+        2.0 * result.kernels[0].sim_time)
+
+
+def test_clustering_can_misgroup_by_feature_counts(tiny_gpu):
+    """The paper's critique: different kernels with similar instruction
+    mixes cluster together under PKA (Observation 5)."""
+    pka = PKA(tiny_gpu, PkaConfig(kernel_distance=2.0))  # huge radius
+    app = Application("confusable")
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 4))
+    app.launch(make_loop_kernel(n_warps=32, trips_of=lambda w: 4,
+                                wg_size=4))
+    result = pka.simulate_app(app)
+    assert result.kernels[1].mode == "pka-kernel"
+
+
+def test_clustering_disabled(tiny_gpu):
+    config = PkaConfig(enable_kernel_clustering=False)
+    pka = PKA(tiny_gpu, config)
+    app = Application("repeat")
+    app.launch(make_vecadd(n_warps=16))
+    app.launch(make_vecadd(n_warps=16))
+    result = pka.simulate_app(app)
+    assert all(k.mode != "pka-kernel" for k in result.kernels)

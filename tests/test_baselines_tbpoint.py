@@ -1,0 +1,57 @@
+"""TBPoint workgroup-granularity baseline."""
+
+import pytest
+
+from repro.baselines.tbpoint import TBPoint, TBPointConfig
+from repro.errors import ConfigError
+from repro.timing import simulate_kernel_detailed
+
+from conftest import make_loop_kernel, make_vecadd
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TBPointConfig(window=1)
+    with pytest.raises(ConfigError):
+        TBPointConfig(cv_threshold=0.0)
+
+
+def test_small_kernel_full_detail(tiny_gpu):
+    result = TBPoint(tiny_gpu).simulate_kernel(make_vecadd(n_warps=8))
+    assert result.mode == "tbpoint-full"
+    full = simulate_kernel_detailed(make_vecadd(n_warps=8), tiny_gpu)
+    assert result.sim_time == full.sim_time
+
+
+def test_regular_kernel_extrapolates(tiny_gpu):
+    config = TBPointConfig(window=16, cv_threshold=0.2)
+    kernel = make_loop_kernel(n_warps=600, trips_of=lambda w: 6)
+    result = TBPoint(tiny_gpu, config).simulate_kernel(kernel)
+    assert result.mode == "tbpoint"
+    assert result.detail_insts < result.n_insts
+    assert result.meta["workgroups_predicted"] > 0
+    full = simulate_kernel_detailed(
+        make_loop_kernel(n_warps=600, trips_of=lambda w: 6), tiny_gpu)
+    err = abs(full.sim_time - result.sim_time) / full.sim_time
+    assert err < 0.4
+
+
+def test_irregular_kernel_never_stabilises(tiny_gpu):
+    """Heavy-tailed workgroup durations keep the CV above threshold:
+    TBPoint (correctly, per the paper's critique) gains nothing."""
+    kernel = make_loop_kernel(n_warps=400,
+                              trips_of=lambda w: 1 + (w * 7919) % 37)
+    config = TBPointConfig(window=16, cv_threshold=0.05)
+    result = TBPoint(tiny_gpu, config).simulate_kernel(kernel)
+    assert result.mode == "tbpoint-full"
+
+
+def test_app_interface(tiny_gpu):
+    from repro.functional import Application
+
+    app = Application("pair")
+    app.launch(make_vecadd(n_warps=8))
+    app.launch(make_vecadd(n_warps=8))
+    result = TBPoint(tiny_gpu).simulate_app(app)
+    assert result.n_kernels == 2
+    assert result.method == "tbpoint"

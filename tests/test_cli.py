@@ -1,0 +1,58 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import APP_BUILDERS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "relu" in out and "vgg16" in out and "photon" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "relu", "--size", "256",
+                 "--methods", "photon"]) == 0
+    out = capsys.readouterr().out
+    assert "relu" in out
+    assert "photon" in out
+    assert "err_%" in out
+
+
+def test_run_multiple_methods(capsys):
+    assert main(["run", "relu", "--size", "256",
+                 "--methods", "photon", "sieve"]) == 0
+    out = capsys.readouterr().out
+    assert "sieve" in out
+
+
+def test_app_command_small(capsys, monkeypatch):
+    # swap in a tiny app so the CLI path stays fast
+    from repro.workloads import build_pagerank
+
+    monkeypatch.setitem(APP_BUILDERS, "pr-1024",
+                        lambda: build_pagerank(128, iterations=2))
+    assert main(["app", "pr-1024", "--methods", "photon"]) == 0
+    out = capsys.readouterr().out
+    assert "pr-1024" in out
+    assert "modes" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nope"])
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "relu", "--methods", "magic"])
+
+
+def test_parser_structure():
+    parser = build_parser()
+    args = parser.parse_args(["run", "fir", "--size", "128",
+                              "--gpu", "mi100"])
+    assert args.workload == "fir"
+    assert args.size == 128
+    assert args.gpu == "mi100"

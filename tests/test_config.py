@@ -1,0 +1,93 @@
+"""GPU configuration presets (Table 1) and Photon config validation."""
+
+import pytest
+
+from repro.config import GpuConfig, MI100, R9_NANO, preset
+from repro.core import PhotonConfig
+from repro.errors import ConfigError
+
+
+def test_table1_r9nano():
+    assert R9_NANO.n_cu == 64
+    assert R9_NANO.clock_ghz == 1.0
+    assert R9_NANO.l1v.size_bytes == 16 * 1024 and R9_NANO.l1v.assoc == 4
+    assert R9_NANO.l1i.size_bytes == 32 * 1024
+    assert R9_NANO.l2.size_bytes == 256 * 1024 and R9_NANO.l2.assoc == 16
+    assert R9_NANO.l2_banks == 8
+    assert R9_NANO.dram_gb == 4
+
+
+def test_table1_mi100():
+    assert MI100.n_cu == 120
+    assert MI100.l2_banks == 32
+    # 8MB total L2 across 32 banks (Table 1)
+    assert MI100.l2.size_bytes * MI100.l2_banks == 8 * 1024 * 1024
+    assert MI100.dram_gb == 32
+
+
+def test_preset_lookup():
+    assert preset("r9nano") is R9_NANO
+    assert preset("MI100") is MI100
+    with pytest.raises(ConfigError):
+        preset("h100")
+
+
+def test_cache_geometry_sets():
+    assert R9_NANO.l1v.n_sets == 16 * 1024 // (4 * 64)
+
+
+def test_scaled_preserves_per_cu_geometry():
+    small = R9_NANO.scaled(8)
+    assert small.n_cu == 8
+    assert small.l1v == R9_NANO.l1v
+    assert small.l2 == R9_NANO.l2
+    assert small.l2_banks >= 4  # bandwidth floor
+    assert small.dram_channels >= 4
+
+
+def test_scaled_handles_awkward_cu_counts():
+    cfg = MI100.scaled(15)
+    assert cfg.n_cu == 15
+    assert cfg.n_cu % cfg.cus_per_l1_group == 0
+
+
+def test_invalid_configs_rejected():
+    import dataclasses
+
+    with pytest.raises(ConfigError):
+        dataclasses.replace(R9_NANO, n_cu=0)
+    with pytest.raises(ConfigError):
+        dataclasses.replace(R9_NANO, n_cu=6)  # not divisible by group
+
+
+def test_photon_config_defaults_match_paper():
+    cfg = PhotonConfig()
+    assert cfg.sample_fraction == 0.01
+    assert cfg.bb_window == 2048
+    assert cfg.warp_window == 1024
+    assert cfg.delta == 0.03
+    assert cfg.stable_bb_rate == 0.95
+    assert cfg.dominant_warp_rate == 0.95
+    assert cfg.bbv_dim == 16
+
+
+def test_photon_config_validation():
+    with pytest.raises(ConfigError):
+        PhotonConfig(sample_fraction=0.0)
+    with pytest.raises(ConfigError):
+        PhotonConfig(bb_window=1)
+    with pytest.raises(ConfigError):
+        PhotonConfig(delta=1.5)
+    with pytest.raises(ConfigError):
+        PhotonConfig(stable_bb_rate=0.0)
+    with pytest.raises(ConfigError):
+        PhotonConfig(bbv_dim=0)
+
+
+def test_with_levels():
+    cfg = PhotonConfig().with_levels(kernel=True, warp=False, bb=False)
+    assert cfg.enable_kernel_sampling
+    assert not cfg.enable_warp_sampling
+    assert not cfg.enable_bb_sampling
+    # original untouched (frozen dataclass)
+    assert PhotonConfig().enable_warp_sampling

@@ -1,0 +1,154 @@
+"""BBV projection, GPU BBVs (Figure 5) and distance/clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BBVProjector,
+    bbv_distance,
+    cluster_by_distance,
+    gpu_bbv,
+    warp_type_key,
+)
+from repro.isa import KernelBuilder, s, v
+
+
+def two_block_program():
+    b = KernelBuilder("p")
+    b.s_mov(s(3), 0)
+    b.label("loop")
+    b.s_add(s(3), s(3), 1)
+    b.s_cmp_lt(s(3), 4)
+    b.s_cbranch_scc1("loop")
+    b.s_endpgm()
+    return b.build()
+
+
+def test_projection_dimension_and_normalisation():
+    prog = two_block_program()
+    projector = BBVProjector(dim=16)
+    vec = projector.project({0: 1, 1: 4}, prog)
+    assert vec.shape == (16,)
+    assert np.abs(vec).sum() == pytest.approx(1.0)
+
+
+def test_projection_deterministic_across_instances():
+    prog = two_block_program()
+    a = BBVProjector(16).project({0: 2, 1: 8}, prog)
+    b = BBVProjector(16).project({0: 2, 1: 8}, prog)
+    assert np.array_equal(a, b)
+
+
+def test_projection_scale_invariant():
+    """BBVs that differ only by execution scale project identically."""
+    prog = two_block_program()
+    projector = BBVProjector(16)
+    a = projector.project({0: 1, 1: 4}, prog)
+    b = projector.project({0: 10, 1: 40}, prog)
+    assert np.allclose(a, b)
+
+
+def test_projection_distinguishes_different_mixes():
+    prog = two_block_program()
+    projector = BBVProjector(16)
+    a = projector.project({0: 1, 1: 1}, prog)
+    b = projector.project({0: 1, 1: 100}, prog)
+    assert bbv_distance(a, b) > 0.05
+
+
+def test_projection_empty_counts():
+    prog = two_block_program()
+    vec = BBVProjector(16).project({}, prog)
+    assert not vec.any()
+
+
+def test_warp_type_key_order_sensitive():
+    assert warp_type_key([0, 5, 0]) == warp_type_key((0, 5, 0))
+    assert warp_type_key([0, 5]) != warp_type_key([5, 0])
+
+
+def test_gpu_bbv_ordering_by_weight():
+    dim = 4
+    bbvs = {1: np.array([1.0, 0, 0, 0]), 2: np.array([0, 1.0, 0, 0])}
+    counts = {1: 3, 2: 7}  # type 2 dominates
+    vec = gpu_bbv(bbvs, counts, clusters=2)
+    assert vec.shape == (8,)
+    # first slot holds type 2 with weight 0.7
+    assert vec[1] == pytest.approx(0.7)
+    assert vec[4] == pytest.approx(0.3)
+
+
+def test_gpu_bbv_pads_missing_clusters():
+    bbvs = {1: np.ones(4) / 4}
+    vec = gpu_bbv(bbvs, {1: 5}, clusters=3)
+    assert vec.shape == (12,)
+    assert not vec[4:].any()
+
+
+def test_gpu_bbv_truncates_to_top_k():
+    bbvs = {i: np.eye(4)[i % 4] for i in range(6)}
+    counts = {i: 10 - i for i in range(6)}
+    vec = gpu_bbv(bbvs, counts, clusters=2)
+    assert vec.shape == (8,)
+
+
+def test_gpu_bbv_requires_types():
+    with pytest.raises(ValueError):
+        gpu_bbv({}, {}, clusters=2)
+
+
+def test_gpu_bbv_invariant_to_count_scaling():
+    """Doubling every type count leaves the GPU BBV unchanged."""
+    bbvs = {1: np.array([1.0, 0.0]), 2: np.array([0.0, 1.0])}
+    a = gpu_bbv(bbvs, {1: 3, 2: 7}, clusters=2)
+    b = gpu_bbv(bbvs, {1: 6, 2: 14}, clusters=2)
+    assert np.allclose(a, b)
+
+
+def test_distance_properties():
+    a = np.array([1.0, 0.0])
+    b = np.array([0.0, 1.0])
+    assert bbv_distance(a, a) == 0.0
+    assert bbv_distance(a, b) == pytest.approx(2.0)
+    assert bbv_distance(a, b) == bbv_distance(b, a)
+
+
+def test_distance_shape_mismatch():
+    with pytest.raises(ValueError):
+        bbv_distance(np.zeros(2), np.zeros(3))
+
+
+def test_cluster_by_distance_groups_similar():
+    vectors = [
+        np.array([1.0, 0.0]),
+        np.array([0.99, 0.01]),
+        np.array([0.0, 1.0]),
+        np.array([0.02, 0.98]),
+    ]
+    ids = cluster_by_distance(vectors, threshold=0.2)
+    assert ids[0] == ids[1]
+    assert ids[2] == ids[3]
+    assert ids[0] != ids[2]
+
+
+def test_cluster_singletons_when_threshold_tiny():
+    vectors = [np.array([1.0, 0.0]), np.array([0.9, 0.1])]
+    ids = cluster_by_distance(vectors, threshold=1e-6)
+    assert ids == [0, 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(1, 1000), min_size=1, max_size=8))
+def test_property_gpu_bbv_weights_sum_to_one(counts):
+    """Sum of |GPU BBV| equals 1 when each type BBV is L1-normalised
+    and every type fits in the cluster budget."""
+    rng = np.random.default_rng(0)
+    bbvs = {}
+    count_map = {}
+    for i, c in enumerate(counts):
+        vec = rng.standard_normal(8)
+        bbvs[i] = vec / np.abs(vec).sum()
+        count_map[i] = c
+    out = gpu_bbv(bbvs, count_map, clusters=len(counts))
+    assert np.abs(out).sum() == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Kernel database lookups (kernel-sampling, Figure 12)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KernelDB, KernelRecord
+
+
+def record(name, vec, n_warps, insts=1000.0, sample=100, time=500.0):
+    return KernelRecord(name=name, gpu_bbv=np.asarray(vec, dtype=float),
+                        n_warps=n_warps, total_insts=insts,
+                        sample_insts=sample, sim_time=time)
+
+
+def test_empty_db_misses():
+    db = KernelDB(distance_threshold=0.1, n_cu=8)
+    assert db.lookup(np.array([1.0, 0.0]), 100, 10) is None
+    assert len(db) == 0
+
+
+def test_exact_match_predicts():
+    db = KernelDB(0.1, n_cu=8)
+    db.add(record("a", [1.0, 0.0], n_warps=100, insts=1000, sample=100,
+                  time=500))
+    pred = db.lookup(np.array([1.0, 0.0]), 100, 200)
+    assert pred is not None
+    assert pred.matched.name == "a"
+    # insts extrapolated through the sample ratio: 1000 * 200/100
+    assert pred.predicted_insts == pytest.approx(2000.0)
+    # time = insts / ipc, ipc = 1000/500 = 2
+    assert pred.predicted_time == pytest.approx(1000.0)
+
+
+def test_distance_threshold_excludes():
+    db = KernelDB(0.05, n_cu=8)
+    db.add(record("a", [1.0, 0.0], 100))
+    assert db.lookup(np.array([0.9, 0.1]), 100, 100) is None
+
+
+def test_closest_warp_count_wins():
+    db = KernelDB(0.1, n_cu=8)
+    db.add(record("far", [1.0, 0.0], n_warps=1000, time=100.0))
+    db.add(record("near", [1.0, 0.0], n_warps=130, time=900.0))
+    pred = db.lookup(np.array([1.0, 0.0]), 128, 100)
+    assert pred.matched.name == "near"
+
+
+def test_small_kernels_require_exact_warp_count():
+    """Paper: kernels with fewer warps than GPU cores must match the
+    warp count exactly (different resource competition)."""
+    db = KernelDB(0.1, n_cu=64)
+    db.add(record("small", [1.0, 0.0], n_warps=32))
+    assert db.lookup(np.array([1.0, 0.0]), 33, 100) is None
+    assert db.lookup(np.array([1.0, 0.0]), 32, 100) is not None
+    # and symmetrically: a big query cannot match a small record
+    assert db.lookup(np.array([1.0, 0.0]), 128, 100) is None
+
+
+def test_shape_mismatch_skipped():
+    db = KernelDB(0.1, n_cu=8)
+    db.add(record("a", [1.0, 0.0, 0.0], 100))
+    assert db.lookup(np.array([1.0, 0.0]), 100, 100) is None
+
+
+def test_zero_ipc_record_never_matches():
+    db = KernelDB(0.1, n_cu=8)
+    db.add(record("broken", [1.0, 0.0], 100, time=0.0))
+    assert db.lookup(np.array([1.0, 0.0]), 100, 100) is None
+
+
+def test_multiple_candidates_distance_gate_first():
+    db = KernelDB(0.1, n_cu=8)
+    db.add(record("similar", [1.0, 0.0], n_warps=500))
+    db.add(record("different", [0.0, 1.0], n_warps=100))
+    pred = db.lookup(np.array([1.0, 0.0]), 100, 100)
+    # "different" has the closer warp count but fails the distance gate
+    assert pred.matched.name == "similar"

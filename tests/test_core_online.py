@@ -1,0 +1,75 @@
+"""Online analysis (the 1% fast-forward sample)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BBVProjector, PhotonConfig, analyze_kernel, select_sample
+
+from conftest import make_loop_kernel, make_vecadd
+
+
+def analyze(kernel, **cfg):
+    config = PhotonConfig(min_sample_warps=4, **cfg)
+    return analyze_kernel(kernel, config, BBVProjector(config.bbv_dim))
+
+
+def test_select_sample_bounds():
+    sample = select_sample(1000, 0.01, 4)
+    assert len(sample) == 10
+    assert sample == sorted(set(sample))
+    assert all(0 <= w < 1000 for w in sample)
+
+
+def test_select_sample_minimum_enforced():
+    assert len(select_sample(1000, 0.001, 8)) == 8
+
+
+def test_select_sample_small_grid_takes_all():
+    assert select_sample(3, 0.5, 8) == [0, 1, 2]
+
+
+def test_select_sample_spread_over_grid():
+    sample = select_sample(1000, 0.01, 4)
+    assert sample[0] < 200 and sample[-1] > 800  # stratified, not a prefix
+
+
+def test_uniform_kernel_single_type():
+    analysis = analyze(make_vecadd(n_warps=64))
+    assert analysis.n_types == 1
+    assert analysis.dominant_rate == 1.0
+    assert analysis.mean_insts_per_warp == 9.0
+    assert analysis.sample_insts % 9 == 0
+
+
+def test_bb_share_sums_to_one():
+    analysis = analyze(make_loop_kernel(n_warps=64, trips_of=lambda w: 4))
+    assert sum(analysis.bb_share.values()) == pytest.approx(1.0)
+
+
+def test_irregular_kernel_many_types():
+    kernel = make_loop_kernel(n_warps=64, trips_of=lambda w: 1 + w % 5)
+    analysis = analyze(kernel, sample_fraction=0.5)
+    assert analysis.n_types == 5
+    assert analysis.dominant_rate < 0.5
+
+
+def test_gpu_bbv_shape_and_kernel_similarity():
+    config = PhotonConfig(min_sample_warps=4)
+    projector = BBVProjector(config.bbv_dim)
+    a = analyze_kernel(make_vecadd(n_warps=64), config, projector)
+    b = analyze_kernel(make_vecadd(n_warps=128), config, projector)
+    c = analyze_kernel(
+        make_loop_kernel(n_warps=64, trips_of=lambda w: 6), config,
+        projector)
+    assert a.gpu_bbv.shape == (config.gpu_bbv_clusters * config.bbv_dim,)
+    from repro.core import bbv_distance
+
+    assert bbv_distance(a.gpu_bbv, b.gpu_bbv) < 1e-9  # same kernel
+    assert bbv_distance(a.gpu_bbv, c.gpu_bbv) > 0.1  # different kernel
+
+
+def test_type_insts_recorded_per_type():
+    kernel = make_loop_kernel(n_warps=32, trips_of=lambda w: 1 + w % 2)
+    analysis = analyze(kernel, sample_fraction=0.5)
+    assert len(analysis.type_insts) == analysis.n_types
+    assert set(analysis.type_bb_seq) == set(analysis.type_counts)

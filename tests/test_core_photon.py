@@ -1,0 +1,131 @@
+"""Photon controller integration: modes, fallback, kernel DB, offline
+analysis reuse."""
+
+import pytest
+
+from repro.core import AnalysisStore, Photon, PhotonConfig
+from repro.functional import Application
+from repro.timing import simulate_kernel_detailed
+
+from conftest import make_loop_kernel, make_vecadd
+
+
+def photon(tiny_gpu, fast_photon_config, **overrides):
+    import dataclasses
+
+    config = dataclasses.replace(fast_photon_config, **overrides)
+    return Photon(tiny_gpu, config)
+
+
+def test_small_kernel_falls_back_to_full(tiny_gpu, fast_photon_config):
+    """Nothing to sample: every warp fits in one dispatch generation."""
+    kernel = make_vecadd(n_warps=4)
+    result = photon(tiny_gpu, fast_photon_config).simulate_kernel(kernel)
+    assert result.mode == "full"
+    assert result.detail_fraction == 1.0
+    full = simulate_kernel_detailed(make_vecadd(n_warps=4), tiny_gpu)
+    assert result.sim_time == full.sim_time
+
+
+def test_large_uniform_kernel_switches_and_bounds_error(
+        tiny_gpu, fast_photon_config):
+    kernel = make_loop_kernel(n_warps=700, trips_of=lambda w: 6)
+    result = photon(tiny_gpu, fast_photon_config).simulate_kernel(kernel)
+    assert result.mode in ("warp", "bb")
+    assert result.detail_fraction < 1.0
+    full = simulate_kernel_detailed(
+        make_loop_kernel(n_warps=700, trips_of=lambda w: 6), tiny_gpu)
+    err = abs(full.sim_time - result.sim_time) / full.sim_time
+    assert err < 0.25
+
+
+def test_warp_sampling_disabled_for_irregular(tiny_gpu, fast_photon_config):
+    """No dominant warp type -> warp detector never armed."""
+    kernel = make_loop_kernel(n_warps=500, trips_of=lambda w: 1 + w % 7)
+    result = photon(tiny_gpu, fast_photon_config,
+                    enable_bb_sampling=False,
+                    enable_kernel_sampling=False).simulate_kernel(kernel)
+    assert result.mode == "full"
+
+
+def test_levels_can_be_disabled(tiny_gpu, fast_photon_config):
+    kernel = make_loop_kernel(n_warps=700, trips_of=lambda w: 6)
+    result = photon(
+        tiny_gpu, fast_photon_config,
+        enable_kernel_sampling=False, enable_warp_sampling=False,
+        enable_bb_sampling=False,
+    ).simulate_kernel(kernel)
+    assert result.mode == "full"
+
+
+def test_kernel_sampling_on_repeated_launches(tiny_gpu, fast_photon_config):
+    """Second identical launch must hit the kernel DB."""
+    sim = photon(tiny_gpu, fast_photon_config)
+    app = Application("repeat")
+    app.launch(make_loop_kernel(n_warps=64, trips_of=lambda w: 5))
+    app.launch(make_loop_kernel(n_warps=64, trips_of=lambda w: 5))
+    result = sim.simulate_app(app)
+    assert result.kernels[0].mode in ("full", "warp", "bb")
+    assert result.kernels[1].mode == "kernel"
+    assert result.kernels[1].detail_insts == 0
+    # prediction inherits the first kernel's behaviour
+    assert result.kernels[1].sim_time == pytest.approx(
+        result.kernels[0].sim_time, rel=0.05)
+
+
+def test_kernel_sampling_respects_disable(tiny_gpu, fast_photon_config):
+    sim = photon(tiny_gpu, fast_photon_config, enable_kernel_sampling=False)
+    app = Application("repeat")
+    app.launch(make_vecadd(n_warps=16))
+    app.launch(make_vecadd(n_warps=16))
+    result = sim.simulate_app(app)
+    assert all(k.mode != "kernel" for k in result.kernels)
+
+
+def test_different_kernels_not_cross_matched(tiny_gpu, fast_photon_config):
+    sim = photon(tiny_gpu, fast_photon_config)
+    app = Application("mixed")
+    app.launch(make_vecadd(n_warps=64))
+    app.launch(make_loop_kernel(n_warps=64, trips_of=lambda w: 6))
+    result = sim.simulate_app(app)
+    assert result.kernels[1].mode != "kernel"
+
+
+def test_analysis_store_reuse(tiny_gpu, fast_photon_config):
+    store = AnalysisStore()
+    kernel_factory = lambda: make_vecadd(n_warps=32)
+    Photon(tiny_gpu, fast_photon_config,
+           analysis_store=store).simulate_kernel(kernel_factory())
+    assert store.misses == 1 and store.hits == 0
+    Photon(tiny_gpu, fast_photon_config,
+           analysis_store=store).simulate_kernel(kernel_factory())
+    assert store.hits == 1
+    assert len(store) == 1
+
+
+def test_analysis_store_distinguishes_grids(tiny_gpu, fast_photon_config):
+    store = AnalysisStore()
+    sim = Photon(tiny_gpu, fast_photon_config, analysis_store=store)
+    sim.simulate_kernel(make_vecadd(n_warps=16))
+    sim.simulate_kernel(make_vecadd(n_warps=32))
+    assert len(store) == 2
+
+
+def test_result_accounting_consistent(tiny_gpu, fast_photon_config):
+    kernel = make_loop_kernel(n_warps=700, trips_of=lambda w: 6)
+    result = photon(tiny_gpu, fast_photon_config).simulate_kernel(kernel)
+    assert result.n_insts > 0
+    assert 0 <= result.detail_insts <= result.n_insts
+    assert result.wall_seconds > 0
+    assert result.sim_time > 0
+
+
+def test_app_mode_counts(tiny_gpu, fast_photon_config):
+    sim = photon(tiny_gpu, fast_photon_config)
+    app = Application("app")
+    for _ in range(3):
+        app.launch(make_vecadd(n_warps=16))
+    result = sim.simulate_app(app)
+    counts = result.mode_counts()
+    assert sum(counts.values()) == 3
+    assert counts.get("kernel", 0) == 2

@@ -1,0 +1,138 @@
+"""Failure injection: the stack must fail loudly and precisely.
+
+Every failure mode a downstream user can trigger — bad grids, runaway
+kernels, out-of-bounds traffic, corrupted persisted state, misbehaving
+listeners — must raise a typed ReproError (never a bare KeyError or a
+silent wrong answer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Photon, PhotonConfig
+from repro.errors import (
+    ConfigError,
+    ExecutionError,
+    MemoryFault,
+    ReproError,
+    WorkloadError,
+)
+from repro.functional import FunctionalExecutor, GlobalMemory, Kernel
+from repro.isa import KernelBuilder, MemAddr, s, v
+from repro.timing import DetailedEngine, EngineListener
+
+from conftest import make_vecadd
+
+
+def test_all_errors_are_repro_errors():
+    for exc in (ConfigError, ExecutionError, MemoryFault, WorkloadError):
+        assert issubclass(exc, ReproError)
+
+
+def test_kernel_with_zero_warps():
+    mem = GlobalMemory(64)
+    b = KernelBuilder("t")
+    b.s_endpgm()
+    with pytest.raises(WorkloadError):
+        Kernel(program=b.build(), n_warps=0, wg_size=1, memory=mem)
+
+
+def test_kernel_with_bad_wg_size():
+    mem = GlobalMemory(64)
+    b = KernelBuilder("t")
+    b.s_endpgm()
+    with pytest.raises(WorkloadError):
+        Kernel(program=b.build(), n_warps=4, wg_size=0, memory=mem)
+
+
+def test_out_of_bounds_load_faults_functionally():
+    mem = GlobalMemory(128)
+    mem.alloc("small", 8)
+    b = KernelBuilder("oob")
+    b.v_lane(v(0))
+    b.v_mul(v(0), v(0), 1000.0)  # addresses way past the buffer
+    b.v_load(v(1), MemAddr(base=s(4), index=v(0)))
+    b.s_endpgm()
+    kernel = Kernel(program=b.build(), n_warps=1, wg_size=1, memory=mem,
+                    args=lambda w: {4: 0})
+    with pytest.raises(MemoryFault):
+        FunctionalExecutor(kernel).run_warp_full(0)
+
+
+def test_oob_fault_propagates_through_engine(tiny_gpu):
+    mem = GlobalMemory(128)
+    mem.alloc("small", 8)
+    b = KernelBuilder("oob")
+    b.s_load(s(5), MemAddr(base=s(4), offset=10_000))
+    b.s_endpgm()
+    kernel = Kernel(program=b.build(), n_warps=2, wg_size=1, memory=mem,
+                    args=lambda w: {4: 0})
+    with pytest.raises(MemoryFault):
+        DetailedEngine(kernel, tiny_gpu).run()
+
+
+def test_runaway_kernel_capped_by_max_steps():
+    mem = GlobalMemory(64)
+    b = KernelBuilder("spin")
+    b.label("spin")
+    b.s_branch("spin")
+    b.s_endpgm()
+    kernel = Kernel(program=b.build(), n_warps=1, wg_size=1, memory=mem,
+                    meta={"max_steps": 100})
+    with pytest.raises(ExecutionError):
+        FunctionalExecutor(kernel).run_warp_control(0)
+
+
+def test_photon_survives_workload_edge_cases(tiny_gpu,
+                                             fast_photon_config):
+    """Kernels at every degenerate grid shape simulate cleanly."""
+    photon = Photon(tiny_gpu, fast_photon_config)
+    for n_warps, wg_size in ((1, 1), (2, 2), (3, 2), (5, 4)):
+        kernel = make_vecadd(n_warps=n_warps, wg_size=wg_size)
+        result = photon.simulate_kernel(kernel)
+        assert result.sim_time > 0
+
+
+def test_partial_final_workgroup(tiny_gpu):
+    """n_warps not divisible by wg_size: the ragged tail still runs,
+    including its (smaller) barrier group."""
+    from conftest import make_barrier_kernel
+
+    kernel = make_barrier_kernel(n_warps=7, wg_size=4)
+    result = DetailedEngine(kernel, tiny_gpu).run()
+    assert len(result.warp_times) == 7
+
+
+class _ExplodingListener(EngineListener):
+    def on_bb_complete(self, warp_id, bb_pc, start, end):
+        raise RuntimeError("listener bug")
+
+
+def test_listener_exceptions_propagate(tiny_gpu):
+    """A buggy methodology listener must not be silently swallowed."""
+    kernel = make_vecadd(n_warps=4)
+    engine = DetailedEngine(kernel, tiny_gpu)
+    engine.attach(_ExplodingListener())
+    with pytest.raises(RuntimeError, match="listener bug"):
+        engine.run()
+
+
+def test_photon_config_frozen():
+    config = PhotonConfig()
+    with pytest.raises(Exception):
+        config.delta = 0.5  # frozen dataclass
+
+
+def test_args_callback_returning_garbage(tiny_gpu):
+    kernel = make_vecadd(n_warps=2)
+    kernel.args = lambda w: {99: 1.0}  # register index out of range
+    with pytest.raises(ExecutionError):
+        FunctionalExecutor(kernel).run_warp_full(0)
+
+
+def test_memory_arena_isolation():
+    """Two kernels on separate arenas never alias buffers."""
+    a = make_vecadd(n_warps=2)
+    b = make_vecadd(n_warps=2)
+    FunctionalExecutor(a).run_warp_full(0)
+    assert not b.memory.view("z").any()  # untouched

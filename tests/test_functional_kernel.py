@@ -1,0 +1,56 @@
+"""Kernel and Application containers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.functional import Application, GlobalMemory, Kernel
+from repro.isa import KernelBuilder
+
+
+def trivial_program(name="t"):
+    b = KernelBuilder(name)
+    b.s_endpgm()
+    return b.build()
+
+
+def make_kernel(n_warps=8, wg_size=4, name=""):
+    return Kernel(program=trivial_program(), n_warps=n_warps,
+                  wg_size=wg_size, memory=GlobalMemory(64), name=name)
+
+
+def test_workgroup_geometry():
+    kernel = make_kernel(n_warps=10, wg_size=4)
+    assert kernel.n_workgroups == 3
+    assert list(kernel.warps_in_workgroup(0)) == [0, 1, 2, 3]
+    assert list(kernel.warps_in_workgroup(2)) == [8, 9]  # ragged tail
+    assert kernel.workgroup_of(0) == 0
+    assert kernel.workgroup_of(9) == 2
+
+
+def test_workgroup_of_out_of_range():
+    kernel = make_kernel(n_warps=4)
+    with pytest.raises(WorkloadError):
+        kernel.workgroup_of(4)
+    with pytest.raises(WorkloadError):
+        kernel.workgroup_of(-1)
+
+
+def test_kernel_name_defaults_to_program_name():
+    assert make_kernel(name="").name == "t"
+    assert make_kernel(name="custom").name == "custom"
+
+
+def test_invalid_warp_size():
+    with pytest.raises(WorkloadError):
+        Kernel(program=trivial_program(), n_warps=1, wg_size=1,
+               memory=GlobalMemory(64), warp_size=0)
+
+
+def test_application_container():
+    app = Application("app")
+    assert app.n_kernels == 0
+    app.launch(make_kernel(n_warps=3))
+    app.extend([make_kernel(n_warps=5), make_kernel(n_warps=2)])
+    assert app.n_kernels == 3
+    assert app.total_warps == 10
+    assert [k.n_warps for k in app] == [3, 5, 2]

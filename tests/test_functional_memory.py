@@ -1,0 +1,97 @@
+"""GlobalMemory arena: allocation, bounds, gather/scatter, line math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryFault
+from repro.functional import GlobalMemory, WORDS_PER_LINE, lines_of
+
+
+def test_alloc_returns_line_aligned_bases():
+    mem = GlobalMemory(1024)
+    a = mem.alloc("a", 3)
+    b = mem.alloc("b", 5)
+    assert a % WORDS_PER_LINE == 0
+    assert b % WORDS_PER_LINE == 0
+    assert b >= a + 3
+
+
+def test_alloc_with_initial_array():
+    mem = GlobalMemory(1024)
+    data = np.arange(10, dtype=np.float64)
+    base = mem.alloc("a", data)
+    assert mem.read_word(base + 3) == 3.0
+    assert np.array_equal(mem.view("a"), data)
+
+
+def test_alloc_duplicate_name_raises():
+    mem = GlobalMemory(1024)
+    mem.alloc("a", 4)
+    with pytest.raises(MemoryFault):
+        mem.alloc("a", 4)
+
+
+def test_alloc_exhaustion_raises():
+    mem = GlobalMemory(64)
+    with pytest.raises(MemoryFault):
+        mem.alloc("big", 100)
+
+
+def test_alloc_zero_size_raises():
+    mem = GlobalMemory(64)
+    with pytest.raises(MemoryFault):
+        mem.alloc("z", 0)
+
+
+def test_read_word_out_of_bounds_raises():
+    mem = GlobalMemory(1024)
+    mem.alloc("a", 8)
+    with pytest.raises(MemoryFault):
+        mem.read_word(8)  # line-aligned next free, but unallocated
+    with pytest.raises(MemoryFault):
+        mem.read_word(-1)
+
+
+def test_gather_scatter_roundtrip():
+    mem = GlobalMemory(1024)
+    base = mem.alloc("a", 64)
+    addrs = np.array([base + i for i in (0, 5, 9, 63)], dtype=np.float64)
+    mem.write_scatter(addrs, np.array([1.0, 2.0, 3.0, 4.0]))
+    assert list(mem.read_gather(addrs)) == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_gather_out_of_bounds_raises():
+    mem = GlobalMemory(1024)
+    base = mem.alloc("a", 8)
+    with pytest.raises(MemoryFault):
+        mem.read_gather(np.array([base + 1000.0]))
+
+
+def test_scatter_out_of_bounds_raises():
+    mem = GlobalMemory(1024)
+    mem.alloc("a", 8)
+    with pytest.raises(MemoryFault):
+        mem.write_scatter(np.array([-4.0]), np.array([1.0]))
+
+
+def test_base_of_and_missing_buffer():
+    mem = GlobalMemory(1024)
+    base = mem.alloc("a", 8)
+    assert mem.base_of("a") == base
+    with pytest.raises(MemoryFault):
+        mem.base_of("nope")
+
+
+def test_lines_of_coalescing():
+    # 64 consecutive words = 8 lines
+    addrs = np.arange(64, dtype=np.float64)
+    assert lines_of(addrs) == tuple(range(8))
+    # all lanes in one line = 1 transaction
+    assert lines_of(np.full(64, 5.0)) == (0,)
+    # scattered
+    assert lines_of(np.array([0.0, 8.0, 16.0])) == (0, 1, 2)
+
+
+def test_capacity_validation():
+    with pytest.raises(MemoryFault):
+        GlobalMemory(0)

@@ -1,0 +1,124 @@
+"""Evaluation harness: metrics, runners, tables."""
+
+import pytest
+
+from repro.baselines import PkaConfig
+from repro.errors import SamplingError, WorkloadError
+from repro.functional import Application
+from repro.harness import (
+    LEVEL_METHODS,
+    comparison_table,
+    format_table,
+    measure_online_offline,
+    run_methods_app,
+    run_methods_kernel,
+    series_table,
+    sim_time_error,
+    wall_speedup,
+    workload_factory,
+)
+
+from conftest import make_vecadd
+
+
+def test_metric_formulas():
+    assert sim_time_error(100.0, 90.0) == pytest.approx(10.0)
+    assert sim_time_error(100.0, 110.0) == pytest.approx(10.0)
+    assert wall_speedup(10.0, 2.0) == pytest.approx(5.0)
+
+
+def test_metric_validation():
+    with pytest.raises(SamplingError):
+        sim_time_error(0.0, 1.0)
+    with pytest.raises(SamplingError):
+        wall_speedup(1.0, 0.0)
+
+
+def test_workload_factory_roundtrip():
+    kernel = workload_factory("relu", 64)()
+    assert kernel.name == "relu"
+    assert kernel.n_warps == 64
+    with pytest.raises(WorkloadError):
+        workload_factory("nonexistent", 64)
+
+
+def test_run_methods_kernel(tiny_gpu, fast_photon_config):
+    rows = run_methods_kernel(
+        lambda: make_vecadd(n_warps=32), "vecadd", 32,
+        gpu=tiny_gpu, methods=("pka", "photon"),
+        photon_config=fast_photon_config,
+    )
+    assert [r.method for r in rows] == ["full", "pka", "photon"]
+    assert rows[0].error_pct == 0.0
+    for row in rows:
+        assert row.full_time == rows[0].full_time
+        assert row.speedup > 0
+
+
+def test_run_methods_kernel_level_ablation(tiny_gpu, fast_photon_config):
+    rows = run_methods_kernel(
+        lambda: make_vecadd(n_warps=32), "vecadd", 32,
+        gpu=tiny_gpu, methods=tuple(sorted(LEVEL_METHODS)),
+        photon_config=fast_photon_config,
+    )
+    assert len(rows) == 1 + len(LEVEL_METHODS)
+
+
+def test_run_methods_rejects_unknown(tiny_gpu, fast_photon_config):
+    with pytest.raises(WorkloadError):
+        run_methods_kernel(
+            lambda: make_vecadd(4), "vecadd", 4, gpu=tiny_gpu,
+            methods=("warpspeed",), photon_config=fast_photon_config)
+
+
+def test_run_methods_app(tiny_gpu, fast_photon_config):
+    def factory():
+        app = Application("twice")
+        app.launch(make_vecadd(n_warps=16))
+        app.launch(make_vecadd(n_warps=16))
+        return app
+
+    out = run_methods_app(factory, "twice", gpu=tiny_gpu,
+                          methods=("photon", "pka"),
+                          photon_config=fast_photon_config)
+    assert out["full"].method == "full"
+    assert out["photon"].n_kernels == 2
+    assert out["pka"].n_kernels == 2
+    assert len(out["rows"]) == 2
+
+
+def test_measure_online_offline(tiny_gpu, fast_photon_config):
+    def factory():
+        app = Application("app")
+        app.launch(make_vecadd(n_warps=16))
+        return app
+
+    stats = measure_online_offline(factory, gpu=tiny_gpu,
+                                   photon_config=fast_photon_config)
+    assert stats["store_entries"] == 1.0
+    assert stats["store_hits"] >= 1.0
+    assert stats["online_wall"] > 0 and stats["offline_wall"] > 0
+
+
+def test_format_table_alignment():
+    text = format_table(("a", "bb"), [(1, 2.5), (10, 3.25)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "2.50" in lines[2] and "3.25" in lines[3]
+
+
+def test_comparison_table_renders(tiny_gpu, fast_photon_config):
+    rows = run_methods_kernel(
+        lambda: make_vecadd(n_warps=16), "vecadd", 16,
+        gpu=tiny_gpu, methods=("photon",),
+        photon_config=fast_photon_config)
+    text = comparison_table(rows)
+    assert "vecadd" in text and "photon" in text and "err_%" in text
+
+
+def test_series_table_renders():
+    text = series_table("ipc", [0, 1, 2], [3.0, 4.0, 5.0],
+                        x_label="t", y_label="ipc")
+    assert text.startswith("# ipc")
+    assert "4.00" in text

@@ -1,0 +1,56 @@
+"""Comparison/metrics edge cases and app-level aggregation."""
+
+import pytest
+
+from repro.harness.metrics import Comparison, compare_apps, compare_kernels
+from repro.timing.simulator import AppResult, KernelResult
+
+
+def kr(name="k", sim=100.0, wall=1.0, insts=1000, mode="full", detail=None):
+    return KernelResult(kernel_name=name, sim_time=sim, wall_seconds=wall,
+                        n_insts=insts, mode=mode,
+                        detail_insts=insts if detail is None else detail)
+
+
+def test_comparison_properties():
+    row = Comparison(workload="w", size=1, method="m", full_time=200.0,
+                     sampled_time=150.0, full_wall=4.0, sampled_wall=1.0)
+    assert row.error_pct == pytest.approx(25.0)
+    assert row.speedup == pytest.approx(4.0)
+
+
+def test_compare_kernels_carries_mode_and_fraction():
+    full = kr(sim=100.0, wall=2.0)
+    sampled = kr(sim=90.0, wall=0.5, mode="bb", detail=300)
+    row = compare_kernels("fir", 64, "photon", full, sampled)
+    assert row.mode == "bb"
+    assert row.detail_fraction == pytest.approx(0.3)
+    assert row.error_pct == pytest.approx(10.0)
+
+
+def test_compare_apps_dominant_mode():
+    full = AppResult(app_name="a", method="full",
+                     kernels=[kr(), kr(), kr()])
+    sampled = AppResult(app_name="a", method="photon", kernels=[
+        kr(mode="full"), kr(mode="kernel", detail=0),
+        kr(mode="kernel", detail=0)])
+    row = compare_apps("a", "photon", full, sampled)
+    assert row.mode == "kernel"
+    assert row.detail_fraction == pytest.approx(1 / 3)
+
+
+def test_kernel_result_detail_fraction_zero_insts():
+    result = KernelResult(kernel_name="k", sim_time=1.0, wall_seconds=1.0,
+                          n_insts=0, mode="full", detail_insts=0)
+    assert result.detail_fraction == 0.0
+
+
+def test_app_result_aggregates():
+    app = AppResult(app_name="a", method="m", kernels=[
+        kr(sim=10.0, wall=1.0, insts=100),
+        kr(sim=20.0, wall=2.0, insts=200)])
+    assert app.sim_time == 30.0
+    assert app.wall_seconds == 3.0
+    assert app.n_insts == 300
+    assert app.n_kernels == 2
+    assert app.mode_counts() == {"full": 2}

@@ -1,0 +1,128 @@
+"""End-to-end integration: full pipeline on scaled-down workloads.
+
+These are the repository's "does the methodology actually work" tests:
+Photon's predictions must stay within a bounded error of full-detailed
+simulation, the sampling modes must land where the paper says they land,
+and degenerate inputs must fall back gracefully.
+"""
+
+import pytest
+
+from repro.baselines import PKA, PkaConfig
+from repro.config import R9_NANO
+from repro.core import Photon, PhotonConfig
+from repro.timing import simulate_app_detailed, simulate_kernel_detailed
+from repro.workloads import (
+    build_aes,
+    build_fir,
+    build_pagerank,
+    build_relu,
+    build_spmv,
+    build_vgg,
+)
+
+GPU = R9_NANO.scaled(8)
+# mid-size calibration: windows scaled to the test problem sizes
+CONFIG = PhotonConfig(bb_window=1024, warp_window=128, min_sample_warps=8,
+                      mean_delta=0.2)
+
+
+def photon():
+    return Photon(GPU, CONFIG)
+
+
+@pytest.mark.parametrize("factory,n_warps,expected_modes,max_err", [
+    (build_relu, 4096, {"warp", "bb"}, 10.0),
+    (build_aes, 1024, {"warp"}, 10.0),
+    (build_spmv, 4096, {"bb", "full"}, 45.0),
+])
+def test_photon_error_bounded(factory, n_warps, expected_modes, max_err):
+    kernel = factory(n_warps)
+    full = simulate_kernel_detailed(kernel, GPU)
+    result = photon().simulate_kernel(factory(n_warps))
+    assert result.mode in expected_modes
+    err = abs(full.sim_time - result.sim_time) / full.sim_time * 100
+    assert err < max_err
+
+
+def test_photon_beats_pka_on_irregular():
+    """Figure 13f: SpMV defeats IPC-stability extrapolation — PKA's
+    stable-IPC assumption mispredicts while Photon's basic-block
+    granularity stays closer."""
+    kernel = build_spmv(4096)
+    full = simulate_kernel_detailed(kernel, GPU)
+    photon_res = photon().simulate_kernel(build_spmv(4096))
+    pka_res = PKA(GPU).simulate_kernel(build_spmv(4096))
+    photon_err = abs(full.sim_time - photon_res.sim_time) / full.sim_time
+    pka_err = abs(full.sim_time - pka_res.sim_time) / full.sim_time
+    assert photon_err < pka_err
+
+
+def test_photon_wall_time_speedup_on_large_kernel():
+    """The headline: sampled simulation is faster than full detail."""
+    import time
+
+    factory = lambda: build_relu(8192)
+    t0 = time.perf_counter()
+    simulate_kernel_detailed(factory(), GPU)
+    full_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = photon().simulate_kernel(factory())
+    sampled_wall = time.perf_counter() - t0
+    assert result.mode in ("warp", "bb")
+    assert sampled_wall < full_wall
+
+
+def test_pagerank_kernel_sampling_after_first_iteration():
+    app = build_pagerank(n_nodes=512, iterations=4)
+    result = photon().simulate_app(app)
+    modes = [k.mode for k in result.kernels]
+    assert modes[0] != "kernel"
+    assert modes[1:] == ["kernel"] * 3
+
+
+def test_pagerank_accuracy():
+    full = simulate_app_detailed(build_pagerank(512, iterations=3), GPU)
+    sampled = photon().simulate_app(build_pagerank(512, iterations=3))
+    err = abs(full.sim_time - sampled.sim_time) / full.sim_time * 100
+    assert err < 20.0
+
+
+def test_vgg16_kernel_sampling_dominates():
+    app = build_vgg(16)
+    result = photon().simulate_app(app)
+    counts = result.mode_counts()
+    assert counts.get("kernel", 0) >= app.n_kernels // 3
+
+
+def test_single_warp_kernel():
+    """Degenerate grid: one warp, nothing to sample."""
+    result = photon().simulate_kernel(build_relu(1))
+    assert result.mode == "full"
+    assert result.sim_time > 0
+
+
+def test_tiny_problem_never_worse_than_exact():
+    kernel = build_fir(8)
+    full = simulate_kernel_detailed(kernel, GPU)
+    result = photon().simulate_kernel(build_fir(8))
+    assert result.sim_time == pytest.approx(full.sim_time)
+
+
+def test_mi100_configuration_runs():
+    """Figure 14: the methodology is microarchitecture independent."""
+    from repro.config import MI100
+
+    gpu = MI100.scaled(8)
+    kernel = build_relu(4096)
+    full = simulate_kernel_detailed(kernel, gpu)
+    result = Photon(gpu, CONFIG).simulate_kernel(build_relu(4096))
+    err = abs(full.sim_time - result.sim_time) / full.sim_time * 100
+    assert err < 10.0
+
+
+def test_determinism_of_sampled_run():
+    a = photon().simulate_kernel(build_relu(4096))
+    b = photon().simulate_kernel(build_relu(4096))
+    assert a.sim_time == b.sim_time
+    assert a.mode == b.mode

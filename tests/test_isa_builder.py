@@ -1,0 +1,160 @@
+"""KernelBuilder assembly: label resolution, operand coercion, errors."""
+
+import pytest
+
+from repro.errors import AssemblyError, IsaError
+from repro.isa import Imm, KernelBuilder, MemAddr, Opcode, s, v
+from repro.isa.instructions import Instruction, validate_instruction
+
+
+def test_backward_label_resolution():
+    b = KernelBuilder("t")
+    b.label("top")
+    b.s_add(s(3), s(3), 1)
+    b.s_branch("top")
+    b.s_endpgm()
+    prog = b.build()
+    assert prog.instructions[1].target == 0
+
+
+def test_forward_label_resolution():
+    b = KernelBuilder("t")
+    b.s_cmp_lt(s(3), 1)
+    b.s_cbranch_scc1("end")
+    b.v_lane(v(0))
+    b.label("end")
+    b.s_endpgm()
+    prog = b.build()
+    assert prog.instructions[1].target == 3
+
+
+def test_undefined_label_raises():
+    b = KernelBuilder("t")
+    b.s_branch("nowhere")
+    b.s_endpgm()
+    with pytest.raises(AssemblyError):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = KernelBuilder("t")
+    b.label("x")
+    with pytest.raises(AssemblyError):
+        b.label("x")
+
+
+def test_numbers_coerced_to_immediates():
+    b = KernelBuilder("t")
+    b.v_add(v(0), v(0), 3)
+    b.s_mul(s(3), s(3), 2.5)
+    b.s_endpgm()
+    prog = b.build()
+    assert prog.instructions[0].srcs[1] == Imm(3)
+    assert prog.instructions[1].srcs[1] == Imm(2.5)
+
+
+def test_store_reads_its_data_register():
+    b = KernelBuilder("t")
+    b.v_store(v(7), MemAddr(base=s(4), index=v(0)))
+    b.s_endpgm()
+    inst = b.build().instructions[0]
+    assert v(7) in inst.reads()
+    assert inst.writes() == ()
+
+
+def test_mac_reads_destination():
+    b = KernelBuilder("t")
+    b.v_mac(v(2), v(0), v(1))
+    b.s_endpgm()
+    inst = b.build().instructions[0]
+    assert v(2) in inst.reads()
+    assert inst.writes() == (v(2),)
+
+
+def test_mem_addressing_registers_are_reads():
+    b = KernelBuilder("t")
+    b.v_load(v(1), MemAddr(base=s(4), index=v(0), scale=2, offset=8))
+    b.s_endpgm()
+    inst = b.build().instructions[0]
+    reads = inst.reads()
+    assert s(4) in reads and v(0) in reads
+
+
+def test_validate_rejects_branch_without_target():
+    inst = Instruction(opcode=Opcode.S_BRANCH)
+    with pytest.raises(IsaError):
+        validate_instruction(inst)
+
+
+def test_validate_rejects_memop_without_addressing():
+    inst = Instruction(opcode=Opcode.V_LOAD, dst=v(0))
+    with pytest.raises(IsaError):
+        validate_instruction(inst)
+
+
+def test_validate_rejects_wrong_load_destination():
+    inst = Instruction(opcode=Opcode.S_LOAD, dst=v(0),
+                       mem=MemAddr(base=s(4)))
+    with pytest.raises(IsaError):
+        validate_instruction(inst)
+
+
+def test_every_builder_opcode_assembles():
+    """One giant kernel touching every emit method builds cleanly."""
+    b = KernelBuilder("everything")
+    b.s_mov(s(3), 1)
+    b.s_add(s(4), s(3), 1)
+    b.s_sub(s(4), s(4), 1)
+    b.s_mul(s(4), s(4), 2)
+    b.s_min(s(4), s(4), 9)
+    b.s_max(s(4), s(4), 0)
+    b.s_and(s(4), s(4), 7)
+    b.s_or(s(4), s(4), 1)
+    b.s_lshl(s(4), s(4), 1)
+    b.s_lshr(s(4), s(4), 1)
+    b.s_cmp_lt(s(4), 5)
+    b.s_cmp_le(s(4), 5)
+    b.s_cmp_eq(s(4), 5)
+    b.s_cmp_ne(s(4), 5)
+    b.s_cmp_gt(s(4), 5)
+    b.s_cmp_ge(s(4), 5)
+    b.s_load(s(5), MemAddr(base=s(3)))
+    b.v_lane(v(0))
+    b.v_mov(v(1), 0.0)
+    b.v_add(v(1), v(1), v(0))
+    b.v_sub(v(1), v(1), 1)
+    b.v_mul(v(1), v(1), 2)
+    b.v_mac(v(1), v(0), 2)
+    b.v_fma(v(1), v(0), 2, 1)
+    b.v_min(v(1), v(1), 99)
+    b.v_max(v(1), v(1), 0)
+    b.v_and(v(1), v(1), 255)
+    b.v_or(v(1), v(1), 1)
+    b.v_xor(v(1), v(1), 3)
+    b.v_lshl(v(1), v(1), 1)
+    b.v_lshr(v(1), v(1), 1)
+    b.v_cmp_lt(v(0), 32)
+    b.v_cmp_le(v(0), 32)
+    b.v_cmp_eq(v(0), 32)
+    b.v_cmp_ne(v(0), 32)
+    b.v_cmp_gt(v(0), 32)
+    b.v_cmp_ge(v(0), 32)
+    b.v_cndmask(v(2), v(0), v(1))
+    b.s_exec_from_vcc()
+    b.s_exec_all()
+    b.v_load(v(3), MemAddr(base=s(3), index=v(0)))
+    b.s_waitcnt()
+    b.v_store(v(3), MemAddr(base=s(3), index=v(0)))
+    b.ds_write(v(0), v(3))
+    b.ds_read(v(4), v(0))
+    b.s_barrier()
+    b.label("end")
+    b.s_branch("end2")
+    b.label("end2")
+    b.s_cbranch_scc1("end")
+    b.s_cbranch_scc0("end3")
+    b.label("end3")
+    b.s_endpgm()
+    prog = b.build()
+    assert len(prog) > 40
+    assert prog.num_blocks >= 3

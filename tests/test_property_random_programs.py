@@ -1,0 +1,126 @@
+"""Property-based tests over randomly generated programs.
+
+Hypothesis builds small random (but well-formed) kernels — straight-line
+vector/scalar arithmetic with optional counted loops and memory traffic —
+and checks cross-cutting invariants of the whole stack:
+
+* FULL and CONTROL functional modes agree on instruction counts and
+  basic-block sequences;
+* the timing engine terminates, retires every instruction exactly once,
+  and respects causality;
+* the scheduler-only fast model never finishes before the longest
+  single warp.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import R9_NANO
+from repro.functional import FunctionalExecutor, GlobalMemory, Kernel
+from repro.isa import KernelBuilder, MemAddr, s, v
+from repro.timing import DetailedEngine
+
+GPU = R9_NANO.scaled(4)
+
+# a small random "operation soup" the generator draws from
+_VOPS = ("v_add", "v_sub", "v_mul", "v_max", "v_min", "v_xor")
+_SOPS = ("s_add", "s_sub", "s_mul", "s_min", "s_max")
+
+
+@st.composite
+def random_kernels(draw):
+    """A random well-formed kernel over up to 3 loops and 40 ops."""
+    n_warps = draw(st.integers(1, 12))
+    wg_size = draw(st.sampled_from([1, 2, 4]))
+    n_loops = draw(st.integers(0, 2))
+    mem = GlobalMemory(capacity_words=n_warps * 64 + 256)
+    buf = mem.alloc("buf", np.ones(n_warps * 64))
+
+    b = KernelBuilder("random")
+    b.v_lane(v(0))
+    b.s_mul(s(3), s(0), 64)
+    b.v_add(v(0), v(0), s(3))
+    segments = draw(st.lists(
+        st.lists(st.tuples(st.sampled_from(_VOPS + _SOPS),
+                           st.integers(1, 7)),
+                 min_size=1, max_size=6),
+        min_size=n_loops + 1, max_size=n_loops + 1))
+
+    def emit_ops(ops):
+        for name, operand in ops:
+            if name.startswith("v_"):
+                getattr(b, name)(v(1), v(1), float(operand))
+            else:
+                getattr(b, name)(s(5), s(5), operand)
+
+    b.v_mov(v(1), 0.0)
+    b.s_mov(s(5), 1)
+    emit_ops(segments[0])
+    for loop_idx in range(n_loops):
+        trips = draw(st.integers(1, 5))
+        counter = s(8 + loop_idx)
+        b.s_mov(counter, 0)
+        b.label(f"loop{loop_idx}")
+        emit_ops(segments[loop_idx + 1])
+        if draw(st.booleans()):
+            b.v_load(v(2), MemAddr(base=s(4), index=v(0)))
+            b.s_waitcnt()
+        b.s_add(counter, counter, 1)
+        b.s_cmp_lt(counter, trips)
+        b.s_cbranch_scc1(f"loop{loop_idx}")
+    if draw(st.booleans()):
+        b.v_store(v(1), MemAddr(base=s(4), index=v(0)))
+    b.s_endpgm()
+    return Kernel(program=b.build(), n_warps=n_warps, wg_size=wg_size,
+                  memory=mem, args=lambda w: {4: buf}, name="random")
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_kernels())
+def test_full_and_control_modes_agree(kernel):
+    executor = FunctionalExecutor(kernel)
+    for warp in range(kernel.n_warps):
+        full = executor.run_warp_full(warp)
+        ctrl = executor.run_warp_control(warp)
+        assert full.n_insts == ctrl.n_insts
+        assert [pc for pc, _ in full.bb_seq] == ctrl.bb_seq
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_kernels())
+def test_engine_conserves_instructions(kernel):
+    executor = FunctionalExecutor(kernel)
+    expected = sum(executor.run_warp_control(w).n_insts
+                   for w in range(kernel.n_warps))
+    result = DetailedEngine(kernel, GPU).run()
+    assert result.n_insts == expected
+    assert len(result.warp_times) == kernel.n_warps
+    for dispatch, retire in result.warp_times.values():
+        assert retire > dispatch >= 0
+    assert result.end_time == max(r for _, r in result.warp_times.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_kernels())
+def test_fast_model_lower_bound(kernel):
+    """Scheduler-only end time >= the longest single warp duration."""
+    from repro.timing import schedule_only
+
+    result = DetailedEngine(kernel, GPU).run()
+    durations = {w: retire - dispatch
+                 for w, (dispatch, retire) in result.warp_times.items()}
+    fast = schedule_only(kernel, sorted(durations), durations, GPU)
+    assert fast.end_time >= max(durations.values()) - 1e-9
+    # and cannot beat perfect parallelism over the GPU's capacity
+    capacity = GPU.n_cu * GPU.max_warps_per_cu
+    waves = -(-kernel.n_warps // capacity)
+    assert fast.end_time <= waves * max(durations.values()) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_kernels())
+def test_trace_dependencies_point_backwards(kernel):
+    executor = FunctionalExecutor(kernel)
+    trace = executor.run_warp_full(0)
+    for i, dep in enumerate(trace.dep):
+        assert -1 <= dep < i

@@ -1,0 +1,199 @@
+"""Detailed engine: causality, barriers, dispatch, stop/abort, probes."""
+
+import pytest
+
+from repro.config import R9_NANO
+from repro.errors import ConfigError
+from repro.functional import FunctionalExecutor
+from repro.timing import BBProbe, DetailedEngine, EngineListener, WarpProbe
+
+from conftest import make_barrier_kernel, make_loop_kernel, make_vecadd
+
+
+def run(kernel, gpu, **kwargs):
+    engine = DetailedEngine(kernel, gpu, **kwargs)
+    return engine, engine.run()
+
+
+def test_all_warps_complete(tiny_gpu):
+    kernel = make_vecadd(n_warps=16)
+    _, res = run(kernel, tiny_gpu)
+    assert len(res.warp_times) == 16
+    assert res.n_insts == 16 * 9
+    assert res.end_time > 0
+
+
+def test_warp_times_causal(tiny_gpu):
+    kernel = make_loop_kernel(n_warps=12, trips_of=lambda w: 3 + w % 4)
+    _, res = run(kernel, tiny_gpu)
+    for warp_id, (dispatch, retire) in res.warp_times.items():
+        assert retire > dispatch >= 0
+
+
+def test_end_time_is_max_retire(tiny_gpu):
+    kernel = make_vecadd(n_warps=8)
+    _, res = run(kernel, tiny_gpu)
+    assert res.end_time == max(r for _, r in res.warp_times.values())
+
+
+def test_barrier_synchronises_workgroup(tiny_gpu):
+    kernel = make_barrier_kernel(n_warps=8, wg_size=4)
+    probe = BBProbe()
+    engine = DetailedEngine(kernel, tiny_gpu)
+    engine.attach(probe)
+    res = engine.run()
+    assert len(res.warp_times) == 8
+    # the barrier splits the program into 2 blocks; both were observed
+    assert len(probe.records) == 2
+
+
+def test_oversized_workgroup_rejected(tiny_gpu):
+    kernel = make_vecadd(n_warps=4)
+    kernel.wg_size = tiny_gpu.max_warps_per_cu + 1
+    with pytest.raises(ConfigError):
+        DetailedEngine(kernel, tiny_gpu)
+
+
+def test_deterministic_repeat(tiny_gpu):
+    results = []
+    for _ in range(2):
+        kernel = make_vecadd(n_warps=16)
+        _, res = run(kernel, tiny_gpu)
+        results.append(res.end_time)
+    assert results[0] == results[1]
+
+
+def test_more_warps_take_longer(tiny_gpu):
+    small = make_vecadd(n_warps=8)
+    big = make_vecadd(n_warps=64)
+    _, res_small = run(small, tiny_gpu)
+    _, res_big = run(big, tiny_gpu)
+    assert res_big.end_time > res_small.end_time
+
+
+def test_ipc_series_totals_match(tiny_gpu):
+    kernel = make_vecadd(n_warps=16)
+    _, res = run(kernel, tiny_gpu, ipc_bucket=50.0)
+    assert sum(res.ipc_series) == res.n_insts
+
+
+def test_latency_table_collected(tiny_gpu):
+    from repro.isa import Opcode
+
+    kernel = make_vecadd(n_warps=8)
+    _, res = run(kernel, tiny_gpu, collect_latency=True)
+    assert res.latency_table
+    assert res.latency_table[Opcode.V_ADD.value] == pytest.approx(
+        tiny_gpu.vector_alu_lat)
+    # memory latencies at least the L1 hit latency
+    assert res.latency_table[Opcode.V_LOAD.value] >= tiny_gpu.l1_lat
+
+
+class _StopAfter(EngineListener):
+    """Requests a dispatch stop after N warp retirements."""
+
+    def __init__(self, n):
+        self.n = n
+        self.engine = None
+        self.seen = 0
+
+    def bind(self, engine):
+        self.engine = engine
+
+    def on_warp_retired(self, warp_id, dispatch, retire):
+        self.seen += 1
+        if self.seen == self.n:
+            self.engine.request_stop()
+
+
+def test_stop_reports_undispatched_and_slots(tiny_gpu):
+    kernel = make_loop_kernel(n_warps=400, trips_of=lambda w: 8)
+    engine = DetailedEngine(kernel, tiny_gpu)
+    stopper = _StopAfter(5)
+    engine.attach(stopper)
+    res = engine.run()
+    assert res.stopped
+    assert res.undispatched  # something was left to predict
+    assert res.stop_time > 0
+    # warps detailed + undispatched = total
+    assert len(res.warp_times) + len(res.undispatched) == 400
+    # slot-release times recorded for draining warps
+    assert sum(len(t) for t in res.cu_slot_free.values()) > 0
+    for times in res.cu_slot_free.values():
+        for t in times:
+            assert t >= res.stop_time
+
+
+def test_stop_with_everything_dispatched(tiny_gpu):
+    kernel = make_vecadd(n_warps=4)  # fits entirely on the GPU
+    engine = DetailedEngine(kernel, tiny_gpu)
+    stopper = _StopAfter(1)
+    engine.attach(stopper)
+    res = engine.run()
+    assert res.stopped
+    assert res.undispatched == []
+    assert len(res.warp_times) == 4
+
+
+class _AbortAfter(EngineListener):
+    def __init__(self, n):
+        self.n = n
+        self.engine = None
+        self.seen = 0
+
+    def bind(self, engine):
+        self.engine = engine
+
+    def on_warp_retired(self, warp_id, dispatch, retire):
+        self.seen += 1
+        if self.seen == self.n:
+            self.engine.request_abort()
+
+
+def test_abort_terminates_early(tiny_gpu):
+    kernel = make_loop_kernel(n_warps=400, trips_of=lambda w: 8)
+    engine = DetailedEngine(kernel, tiny_gpu)
+    engine.attach(_AbortAfter(3))
+    res = engine.run()
+    assert res.stopped
+    assert len(res.warp_times) < 400
+
+
+def test_probes_capture_bb_and_warp_events(tiny_gpu):
+    kernel = make_loop_kernel(n_warps=8, trips_of=lambda w: 4)
+    bb_probe = BBProbe()
+    warp_probe = WarpProbe()
+    engine = DetailedEngine(kernel, tiny_gpu)
+    engine.attach(bb_probe)
+    engine.attach(warp_probe)
+    res = engine.run()
+    assert len(warp_probe.times) == 8
+    loop_pc = kernel.program.blocks[1].pc
+    assert len(bb_probe.records[loop_pc]) == 8 * 4
+    assert bb_probe.dominating_pc() in bb_probe.records
+    for start, end in bb_probe.records[loop_pc]:
+        assert end >= start
+    # probe data matches the engine's own accounting
+    assert warp_probe.issue_retire_pairs() == [
+        res.warp_times[w] for w, _, _ in warp_probe.times]
+
+
+def test_simd_port_contention(tiny_gpu):
+    """More vector work than SIMD issue slots stretches execution."""
+    import dataclasses
+
+    narrow = dataclasses.replace(tiny_gpu, simd_per_cu=1,
+                                 name="narrow")
+    kernel_a = make_vecadd(n_warps=32)
+    kernel_b = make_vecadd(n_warps=32)
+    _, wide_res = run(kernel_a, tiny_gpu)
+    _, narrow_res = run(kernel_b, narrow)
+    assert narrow_res.end_time > wide_res.end_time
+
+
+def test_cp_dispatch_staggering(tiny_gpu):
+    kernel = make_vecadd(n_warps=32, wg_size=2)
+    _, res = run(kernel, tiny_gpu)
+    dispatch_times = sorted(d for d, _ in res.warp_times.values())
+    assert dispatch_times[0] == 0.0
+    assert dispatch_times[-1] > 0.0  # staggered, not all at cycle 0

@@ -1,0 +1,100 @@
+"""Scheduler-only fast model: dispatch behaviour and conservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.timing import schedule_only
+
+from conftest import make_vecadd
+
+
+def test_empty_warp_list(tiny_gpu):
+    kernel = make_vecadd(n_warps=4)
+    res = schedule_only(kernel, [], {}, tiny_gpu, start_time=100.0)
+    assert res.end_time == 100.0
+    assert res.n_warps == 0
+
+
+def test_all_warps_scheduled(tiny_gpu):
+    kernel = make_vecadd(n_warps=32)
+    durations = {w: 10.0 for w in range(32)}
+    res = schedule_only(kernel, list(range(32)), durations, tiny_gpu)
+    assert res.n_warps == 32
+    assert res.end_time == pytest.approx(10.0)  # everything fits at once
+
+
+def test_serialisation_when_oversubscribed(tiny_gpu):
+    kernel = make_vecadd(n_warps=1000, wg_size=2)
+    capacity = tiny_gpu.n_cu * tiny_gpu.max_warps_per_cu
+    durations = {w: 100.0 for w in range(1000)}
+    res = schedule_only(kernel, list(range(1000)), durations, tiny_gpu)
+    waves = -(-1000 // capacity)
+    assert res.end_time == pytest.approx(100.0 * waves)
+
+
+def test_start_time_offsets_everything(tiny_gpu):
+    kernel = make_vecadd(n_warps=8)
+    durations = {w: 5.0 for w in range(8)}
+    base = schedule_only(kernel, list(range(8)), durations, tiny_gpu)
+    shifted = schedule_only(kernel, list(range(8)), durations, tiny_gpu,
+                            start_time=1000.0)
+    assert shifted.end_time == pytest.approx(base.end_time + 1000.0)
+
+
+def test_seeded_slots_delay_dispatch(tiny_gpu):
+    kernel = make_vecadd(n_warps=1000, wg_size=2)
+    durations = {w: 50.0 for w in range(1000)}
+    free = schedule_only(kernel, list(range(1000)), durations, tiny_gpu,
+                         start_time=0.0)
+    # occupy every slot of CU 0 until t=500
+    seeded = schedule_only(
+        kernel, list(range(1000)), durations, tiny_gpu, start_time=0.0,
+        cu_slot_free={0: [500.0] * tiny_gpu.max_warps_per_cu})
+    assert seeded.end_time >= free.end_time
+
+
+def test_oversubscribed_seed_rejected(tiny_gpu):
+    kernel = make_vecadd(n_warps=8)
+    with pytest.raises(ConfigError):
+        schedule_only(
+            kernel, [0], {0: 1.0}, tiny_gpu,
+            cu_slot_free={0: [1.0] * (tiny_gpu.max_warps_per_cu + 1)})
+
+
+def test_oversized_workgroup_rejected(tiny_gpu):
+    kernel = make_vecadd(n_warps=8)
+    kernel.wg_size = tiny_gpu.max_warps_per_cu + 1
+    with pytest.raises(ConfigError):
+        schedule_only(kernel, [0], {0: 1.0}, tiny_gpu)
+
+
+def test_workgroups_dispatch_together(tiny_gpu):
+    kernel = make_vecadd(n_warps=8, wg_size=4)
+    durations = {w: float(10 + w) for w in range(8)}
+    res = schedule_only(kernel, list(range(8)), durations, tiny_gpu)
+    for wg in (range(0, 4), range(4, 8)):
+        starts = {res.warp_times[w][0] for w in wg}
+        assert len(starts) == 1  # same dispatch instant per workgroup
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_warps=st.integers(1, 200),
+    duration=st.floats(0.5, 500.0),
+    start=st.floats(0.0, 1000.0),
+)
+def test_property_end_time_bounds(n_warps, duration, start):
+    """start + duration <= end <= start + waves * duration."""
+    from repro.config import R9_NANO
+
+    gpu = R9_NANO.scaled(4)
+    kernel = make_vecadd(n_warps=n_warps, wg_size=1)
+    durations = {w: duration for w in range(n_warps)}
+    res = schedule_only(kernel, list(range(n_warps)), durations, gpu,
+                        start_time=start)
+    capacity = gpu.n_cu * gpu.max_warps_per_cu
+    waves = -(-n_warps // capacity)
+    assert res.end_time >= start + duration - 1e-9
+    assert res.end_time <= start + waves * duration + 1e-9
+    assert res.n_warps == n_warps

@@ -1,0 +1,48 @@
+"""Measurement probes and the IPC helper."""
+
+import pytest
+
+from repro.timing import BBProbe, DetailedEngine, WarpProbe, ipc_over_time
+
+from conftest import make_loop_kernel
+
+
+def test_ipc_over_time_conversion():
+    points = ipc_over_time([10, 20, 0, 5], bucket=100.0)
+    assert points[0] == (50.0, 0.1)
+    assert points[1] == (150.0, 0.2)
+    assert points[2][1] == 0.0
+    assert len(points) == 4
+
+
+def test_bb_probe_filtering(tiny_gpu):
+    kernel = make_loop_kernel(n_warps=8, trips_of=lambda w: 3)
+    loop_pc = kernel.program.blocks[1].pc
+    probe = BBProbe(track_pcs={loop_pc})
+    engine = DetailedEngine(kernel, tiny_gpu)
+    engine.attach(probe)
+    engine.run()
+    assert set(probe.records) == {loop_pc}
+    assert len(probe.exec_times(loop_pc)) == 8 * 3
+
+
+def test_bb_probe_dominating_requires_data():
+    probe = BBProbe()
+    with pytest.raises(ValueError):
+        probe.dominating_pc()
+
+
+def test_bb_probe_exec_times_missing_pc_empty(tiny_gpu):
+    probe = BBProbe()
+    assert probe.exec_times(1234) == []
+
+
+def test_warp_probe_ordering(tiny_gpu):
+    kernel = make_loop_kernel(n_warps=12, trips_of=lambda w: 2)
+    probe = WarpProbe()
+    engine = DetailedEngine(kernel, tiny_gpu)
+    engine.attach(probe)
+    engine.run()
+    retires = [r for _, _, r in probe.times]
+    assert retires == sorted(retires)  # recorded in retirement order
+    assert {w for w, _, _ in probe.times} == set(range(12))

@@ -1,0 +1,67 @@
+"""Trace cache (trace-driven front end)."""
+
+import pytest
+
+from repro.timing import DetailedEngine
+from repro.timing.tracecache import TraceCache
+
+from conftest import make_loop_kernel, make_vecadd
+
+
+def test_cache_hits_on_second_run(tiny_gpu):
+    cache = TraceCache()
+    kernel = make_vecadd(n_warps=8)
+    first = DetailedEngine(kernel, tiny_gpu,
+                           trace_provider=cache.provider(kernel)).run()
+    assert cache.misses == 8 and cache.hits == 0
+    second = DetailedEngine(kernel, tiny_gpu,
+                            trace_provider=cache.provider(kernel)).run()
+    assert cache.hits == 8
+    assert second.end_time == first.end_time
+    assert second.n_insts == first.n_insts
+
+
+def test_cache_distinguishes_kernels(tiny_gpu):
+    cache = TraceCache()
+    a = make_vecadd(n_warps=4)
+    b = make_loop_kernel(n_warps=4, trips_of=lambda w: 3)
+    DetailedEngine(a, tiny_gpu, trace_provider=cache.provider(a)).run()
+    DetailedEngine(b, tiny_gpu, trace_provider=cache.provider(b)).run()
+    assert cache.misses == 8  # no false sharing across programs
+    assert len(cache) == 8
+
+
+def test_cache_shared_across_gpu_configs(tiny_gpu):
+    """Traces are microarchitecture independent: one cache serves two
+    GPU configurations and timing still differs where it should."""
+    import dataclasses
+
+    cache = TraceCache()
+    kernel = make_vecadd(n_warps=16)
+    res_a = DetailedEngine(
+        kernel, tiny_gpu, trace_provider=cache.provider(kernel)).run()
+    slow = dataclasses.replace(tiny_gpu, dram_lat=2000, name="slow")
+    res_b = DetailedEngine(
+        kernel, slow, trace_provider=cache.provider(kernel)).run()
+    assert cache.hits == 16
+    assert res_b.end_time > res_a.end_time  # timing still config-driven
+
+
+def test_cache_capacity_cap(tiny_gpu):
+    cache = TraceCache(max_traces=2)
+    kernel = make_vecadd(n_warps=8)
+    DetailedEngine(kernel, tiny_gpu,
+                   trace_provider=cache.provider(kernel)).run()
+    assert len(cache) == 2  # capped, not unbounded
+
+
+def test_cache_clear(tiny_gpu):
+    cache = TraceCache()
+    kernel = make_vecadd(n_warps=4)
+    DetailedEngine(kernel, tiny_gpu,
+                   trace_provider=cache.provider(kernel)).run()
+    cache.clear()
+    assert len(cache) == 0
+    DetailedEngine(kernel, tiny_gpu,
+                   trace_provider=cache.provider(kernel)).run()
+    assert cache.misses == 8  # re-populated

@@ -1,0 +1,164 @@
+"""Single-kernel workload structure and executability (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.functional import FunctionalExecutor
+from repro.workloads import (
+    REGISTRY,
+    build_aes,
+    build_fir,
+    build_mm,
+    build_pagerank,
+    build_relu,
+    build_sc,
+    build_spmv,
+)
+
+
+@pytest.mark.parametrize("name", ["relu", "fir", "sc", "mm", "aes", "spmv"])
+def test_registry_contains_table2_kernels(name):
+    assert name in REGISTRY
+
+
+@pytest.mark.parametrize("name", sorted(["relu", "fir", "sc", "mm", "aes",
+                                         "spmv"]))
+def test_every_workload_builds_and_executes(name):
+    kernel = REGISTRY[name](64)
+    ex = FunctionalExecutor(kernel)
+    total = 0
+    for warp in (0, kernel.n_warps // 2, kernel.n_warps - 1):
+        full = ex.run_warp_full(warp)
+        ctrl = ex.run_warp_control(warp)
+        assert full.n_insts == ctrl.n_insts > 0
+        total += full.n_insts
+    assert total > 0
+
+
+@pytest.mark.parametrize("factory", [build_relu, build_fir, build_sc,
+                                     build_aes, build_spmv])
+def test_invalid_problem_size_rejected(factory):
+    with pytest.raises(WorkloadError):
+        factory(0)
+
+
+def test_relu_has_few_blocks():
+    """Paper: 'ReLU only has two basic blocks' — ours adds a bounds-guard
+    exit, giving three static blocks (prologue, body, exit)."""
+    kernel = build_relu(64)
+    assert kernel.program.num_blocks <= 3
+    counts = FunctionalExecutor(kernel).run_warp_control(0).bb_counts()
+    assert len(counts) == 3
+
+
+def test_relu_single_warp_type():
+    kernel = build_relu(128)
+    ex = FunctionalExecutor(kernel)
+    seqs = {tuple(ex.run_warp_control(w).bb_seq) for w in range(0, 128, 16)}
+    assert len(seqs) == 1
+
+
+def test_fir_tap_loop_trip_count():
+    kernel = build_fir(32, n_taps=16)
+    counts = FunctionalExecutor(kernel).run_warp_control(0).bb_counts()
+    loop_pc = max(counts, key=counts.get)
+    assert counts[loop_pc] == 16
+
+
+def test_sc_nested_loop_structure():
+    kernel = build_sc(32, mask_size=3)
+    counts = FunctionalExecutor(kernel).run_warp_control(0).bb_counts()
+    # inner j-loop executes 9 times, outer i-loop 3 times
+    assert 9 in counts.values()
+    assert kernel.program.num_blocks >= 4
+
+
+def test_mm_rounds_problem_size():
+    kernel = build_mm(100)  # rounds up to N=128 -> 256 warps
+    assert kernel.meta["N"] % 64 == 0
+    assert kernel.n_warps == kernel.meta["N"] ** 2 // 64
+
+
+def test_mm_has_barriers_and_uniform_warps():
+    from repro.isa import Opcode
+
+    kernel = build_mm(64)
+    ops = [inst.opcode for inst in kernel.program.instructions]
+    assert ops.count(Opcode.S_BARRIER) == 2
+    ex = FunctionalExecutor(kernel)
+    a = ex.run_warp_control(0)
+    b = ex.run_warp_control(kernel.n_warps - 1)
+    assert a.bb_seq == b.bb_seq  # regular workload: one warp type
+
+
+def test_aes_long_straightline_body():
+    kernel = build_aes(16)
+    # ~400-instruction sequence, very few blocks (no loops)
+    assert len(kernel.program) > 300
+    assert kernel.program.num_blocks == 1
+    trace = FunctionalExecutor(kernel).run_warp_full(0)
+    assert trace.n_insts == len(kernel.program)
+
+
+def test_aes_gathers_are_data_dependent():
+    kernel = build_aes(8)
+    ex = FunctionalExecutor(kernel)
+    t0 = ex.run_warp_full(0)
+    t1 = ex.run_warp_full(1)
+    lines0 = [m for m in t0.mem_lines if m]
+    lines1 = [m for m in t1.mem_lines if m]
+    assert lines0 != lines1  # different data -> different T-table lines
+
+
+def test_spmv_irregular_warp_types():
+    kernel = build_spmv(128)
+    ex = FunctionalExecutor(kernel)
+    seqs = {tuple(ex.run_warp_control(w).bb_seq) for w in range(64)}
+    assert len(seqs) > 4  # many warp types (Observation 4)
+
+
+def test_spmv_trip_counts_match_row_lengths():
+    kernel = build_spmv(64)
+    rowptr = kernel.memory.view("spmv_rowptr")
+    ex = FunctionalExecutor(kernel)
+    for warp in (0, 7, 31):
+        length = rowptr[warp + 1] - rowptr[warp]
+        expected_trips = -(-int(length) // 64)
+        counts = ex.run_warp_control(warp).bb_counts()
+        loop_pc = kernel.program.blocks[1].pc
+        assert counts[loop_pc] == expected_trips + 1  # +1 exit check
+
+
+def test_spmv_writeback_block_is_rare():
+    kernel = build_spmv(64)
+    ex = FunctionalExecutor(kernel)
+    counts = ex.run_warp_control(0).bb_counts()
+    writeback_pc = max(b.pc for b in kernel.program.blocks
+                       if b.pc != len(kernel.program) - 1)
+    # the writeback block runs exactly once per warp
+    wb_counts = [c for pc, c in counts.items() if pc >= writeback_pc]
+    assert 1 in wb_counts
+
+
+def test_pagerank_app_structure():
+    app = build_pagerank(n_nodes=64, iterations=5)
+    assert app.n_kernels == 5
+    assert app.total_warps == 5 * 64
+    # all iterations share one program (kernel-sampling target)
+    fingerprints = {k.program.fingerprint for k in app.kernels}
+    assert len(fingerprints) == 1
+
+
+def test_pagerank_validation():
+    with pytest.raises(WorkloadError):
+        build_pagerank(0)
+    with pytest.raises(WorkloadError):
+        build_pagerank(64, iterations=0)
+
+
+def test_pagerank_executes():
+    app = build_pagerank(n_nodes=32, iterations=2)
+    for kernel in app.kernels:
+        trace = FunctionalExecutor(kernel).run_warp_full(0)
+        assert trace.n_insts > 0

@@ -1,0 +1,147 @@
+"""DNN layer kernels and the VGG / ResNet model builders."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.functional import FunctionalExecutor
+from repro.workloads.dnn import LayerFactory, build_resnet, build_vgg
+from repro.workloads.dnn.vgg import vgg_layer_names
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return LayerFactory()
+
+
+def test_conv_trip_count(factory):
+    kernel = factory.conv2d("c", h_out=8, w_out=8, c_in=4, c_out=8)
+    trace = FunctionalExecutor(kernel).run_warp_control(0)
+    counts = trace.bb_counts()
+    inner_pc = max(counts, key=counts.get)
+    assert counts[inner_pc] == 4 * 9  # c_in * k * k taps
+
+
+def test_conv_warp_count(factory):
+    kernel = factory.conv2d("c", h_out=16, w_out=16, c_in=4, c_out=8)
+    assert kernel.n_warps == 16 * 16 * 8 // 64
+
+
+def test_dense_is_1x1_conv(factory):
+    kernel = factory.dense("fc", n_in=64, n_out=128)
+    assert kernel.program is factory._conv
+    trace = FunctionalExecutor(kernel).run_warp_control(0)
+    counts = trace.bb_counts()
+    assert max(counts.values()) == 64  # trip = n_in
+
+
+def test_conv_and_dense_share_one_program(factory):
+    conv = factory.conv2d("c", 8, 8, 4, 8)
+    dense = factory.dense("d", 64, 128)
+    assert conv.program.fingerprint == dense.program.fingerprint
+
+
+def test_conv_rejects_non_pow2(factory):
+    with pytest.raises(WorkloadError):
+        factory.conv2d("bad", h_out=12, w_out=12, c_in=4, c_out=8)
+
+
+def test_conv_rejects_misaligned_output(factory):
+    with pytest.raises(WorkloadError):
+        factory.conv2d("bad", h_out=2, w_out=2, c_in=4, c_out=8)  # 32 elems
+
+
+def test_conv_rejects_oversized_weights():
+    small = LayerFactory(max_weight_words=64)
+    with pytest.raises(WorkloadError):
+        small.conv2d("big", 8, 8, 64, 64)
+
+
+def test_pool_executes(factory):
+    kernel = factory.pool2d("p", h_out=8, w_out=8, c=8)
+    trace = FunctionalExecutor(kernel).run_warp_full(0)
+    assert trace.n_insts > 0
+    assert kernel.n_warps == 8 * 8 * 8 // 64
+
+
+def test_residual_add_executes(factory):
+    kernel = factory.residual_add("a", 256, 0, 1, 2)
+    trace = FunctionalExecutor(kernel).run_warp_full(0)
+    assert trace.n_insts > 0
+    assert kernel.n_warps == 4
+
+
+def test_stride2_conv(factory):
+    kernel = factory.conv2d("s2", h_out=8, w_out=8, c_in=8, c_out=16,
+                            stride=2)
+    trace = FunctionalExecutor(kernel).run_warp_full(0)
+    assert trace.n_insts > 0
+
+
+def test_vgg16_structure():
+    app = build_vgg(16)
+    names = [k.name for k in app.kernels]
+    convs = [n for n in names if n.startswith("conv")]
+    pools = [n for n in names if n.startswith("pool")]
+    fcs = [n for n in names if n.startswith("fc")]
+    assert len(convs) == 13  # VGG-16: 13 conv layers
+    assert len(pools) == 5
+    assert fcs == ["fc-6", "fc-7", "fc-8"]
+    assert names[0] == "conv1-1"
+
+
+def test_vgg19_has_16_convs():
+    app = build_vgg(19)
+    convs = [k for k in app.kernels if k.name.startswith("conv")]
+    assert len(convs) == 16
+
+
+def test_vgg_rejects_other_depths():
+    with pytest.raises(WorkloadError):
+        build_vgg(11)
+
+
+def test_vgg_layer_names_helper():
+    assert vgg_layer_names(16)[:2] == ["conv1-1", "conv1-2"]
+
+
+@pytest.mark.parametrize("depth,expected_convs", [
+    (18, 1 + 16 + 3),  # stem + 8 basic blocks * 2 + 3 downsamples
+    (50, 1 + 16 * 3 + 4),  # stem + 16 bottlenecks * 3 + 4 downsamples
+])
+def test_resnet_conv_counts(depth, expected_convs):
+    app = build_resnet(depth)
+    convs = [k for k in app.kernels
+             if k.meta.get("k") and not k.meta.get("dense")]
+    assert len(convs) == expected_convs
+
+
+def test_resnet_depth_ordering():
+    sizes = {d: build_resnet(d).n_kernels for d in (18, 34, 50, 101, 152)}
+    assert sizes[18] < sizes[34] < sizes[50] < sizes[101] < sizes[152]
+
+
+def test_resnet152_block_counts():
+    app = build_resnet(152)
+    # stage 4 (named conv4_*) has 36 bottlenecks
+    stage4_adds = [k for k in app.kernels if k.name.startswith("conv4_")
+                   and k.name.endswith("add")]
+    assert len(stage4_adds) == 36
+
+
+def test_resnet_rejects_unknown_depth():
+    with pytest.raises(WorkloadError):
+        build_resnet(99)
+
+
+def test_resnet18_every_kernel_executes():
+    app = build_resnet(18)
+    for kernel in app.kernels:
+        trace = FunctionalExecutor(kernel).run_warp_control(0)
+        assert trace.n_insts > 0
+
+
+def test_vgg16_every_kernel_executes():
+    app = build_vgg(16)
+    for kernel in app.kernels:
+        trace = FunctionalExecutor(kernel).run_warp_control(0)
+        assert trace.n_insts > 0
