@@ -10,6 +10,7 @@ Public API tour
 - :mod:`repro.baselines` — PKA, the comparison baseline.
 - :mod:`repro.workloads` — Table 2 workloads incl. VGG and ResNet.
 - :mod:`repro.harness` — evaluation runners and metrics.
+- :mod:`repro.reliability` — watchdogs, fault injection, degradation.
 
 Quickstart
 ----------
@@ -23,9 +24,20 @@ True
 from .baselines import PKA, PkaConfig
 from .config import GpuConfig, MI100, R9_NANO
 from .core import AnalysisStore, Photon, PhotonConfig
-from .errors import ReproError
+from .errors import (
+    BudgetExceeded,
+    ReproError,
+    SimulationStalled,
+)
 from .functional import Application, GlobalMemory, Kernel
 from .harness import EVAL_MI100, EVAL_PHOTON, EVAL_R9NANO
+from .reliability import (
+    FaultPlan,
+    FaultSpec,
+    FallbackEvent,
+    RetryPolicy,
+    WatchdogConfig,
+)
 from .timing import simulate_app_detailed, simulate_kernel_detailed
 
 __version__ = "1.0.0"
@@ -33,9 +45,13 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisStore",
     "Application",
+    "BudgetExceeded",
     "EVAL_MI100",
     "EVAL_PHOTON",
     "EVAL_R9NANO",
+    "FallbackEvent",
+    "FaultPlan",
+    "FaultSpec",
     "GlobalMemory",
     "GpuConfig",
     "Kernel",
@@ -46,6 +62,9 @@ __all__ = [
     "PkaConfig",
     "R9_NANO",
     "ReproError",
+    "RetryPolicy",
+    "SimulationStalled",
+    "WatchdogConfig",
     "simulate_app_detailed",
     "simulate_kernel_detailed",
     "__version__",

@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from .config.gpu_configs import preset
+from .errors import ReproError
 from .harness.defaults import EVAL_MI100, EVAL_PHOTON, EVAL_R9NANO
 from .harness.runner import (
     LEVEL_METHODS,
@@ -25,6 +26,7 @@ from .harness.runner import (
     workload_factory,
 )
 from .harness.tables import comparison_table
+from .reliability.watchdog import WatchdogConfig
 from .workloads import REGISTRY, build_pagerank, build_resnet, build_vgg
 
 APP_BUILDERS = {
@@ -67,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "full-mi100"])
     run.add_argument("--methods", nargs="+", default=["photon"],
                      choices=_ALL_METHODS)
+    _add_watchdog_flags(run)
 
     app = sub.add_parser("app", help="run a multi-kernel application")
     app.add_argument("name", choices=sorted(APP_BUILDERS))
@@ -74,12 +77,31 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["r9nano", "mi100"])
     app.add_argument("--methods", nargs="+", default=["photon"],
                      choices=_ALL_METHODS)
+    _add_watchdog_flags(app)
 
     sub.add_parser("list", help="list workloads, apps and methods")
     return parser
 
 
+def _add_watchdog_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--deadline-seconds", type=float, default=None, metavar="S",
+        help="abort any single simulation after S wall-clock seconds")
+    sub.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="abort any single detailed simulation after N engine events")
+
+
+def _watchdog_from(args: argparse.Namespace) -> Optional[WatchdogConfig]:
+    if args.deadline_seconds is None and args.max_events is None:
+        return None
+    return WatchdogConfig(deadline_seconds=args.deadline_seconds,
+                          max_events=args.max_events)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point.  Returns 0 on success, 2 on any :class:`ReproError`
+    (bad config, watchdog trip, unrecoverable simulation failure)."""
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
@@ -88,21 +110,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("methods:                ", ", ".join(_ALL_METHODS))
         return 0
 
+    try:
+        return _run(args)
+    except ReproError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
     gpu = _gpu_for(args.gpu)
+    watchdog = _watchdog_from(args)
     if args.command == "run":
         rows = run_methods_kernel(
             workload_factory(args.workload, args.size),
             args.workload, args.size, gpu=gpu,
-            methods=tuple(args.methods), photon_config=EVAL_PHOTON)
+            methods=tuple(args.methods), photon_config=EVAL_PHOTON,
+            watchdog=watchdog)
         print(comparison_table(rows))
         return 0
 
     out = run_methods_app(APP_BUILDERS[args.name], args.name, gpu=gpu,
                           methods=tuple(args.methods),
-                          photon_config=EVAL_PHOTON)
+                          photon_config=EVAL_PHOTON, watchdog=watchdog)
     print(comparison_table(out["rows"]))
     for method in args.methods:
-        print(f"{method} modes: {out[method].mode_counts()}")
+        if method in out:
+            print(f"{method} modes: {out[method].mode_counts()}")
     return 0
 
 

@@ -16,6 +16,7 @@ from .online import OnlineAnalysis, analyze_kernel, select_sample
 from .persist import (
     load_analysis_store,
     load_kernel_db,
+    payload_checksum,
     save_analysis_store,
     save_kernel_db,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "least_squares_fit",
     "load_analysis_store",
     "load_kernel_db",
+    "payload_checksum",
     "save_analysis_store",
     "save_kernel_db",
     "select_sample",

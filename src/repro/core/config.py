@@ -63,19 +63,51 @@ class PhotonConfig:
 
     def __post_init__(self) -> None:
         if not 0 < self.sample_fraction <= 1:
-            raise ConfigError("sample_fraction must be in (0, 1]")
-        if self.bb_window < 2 or self.warp_window < 2:
-            raise ConfigError("stability windows must be >= 2")
+            raise ConfigError(
+                f"sample_fraction must be in (0, 1], "
+                f"got {self.sample_fraction}")
+        if self.min_sample_warps < 1:
+            raise ConfigError(
+                f"min_sample_warps must be >= 1, "
+                f"got {self.min_sample_warps}")
+        if self.bb_window < 2:
+            raise ConfigError(
+                f"bb_window must be >= 2, got {self.bb_window}")
+        if self.warp_window < 2:
+            raise ConfigError(
+                f"warp_window must be >= 2, got {self.warp_window}")
+        if not 0 <= self.bb_retire_gate_fraction <= 1:
+            raise ConfigError(
+                f"bb_retire_gate_fraction must be in [0, 1], "
+                f"got {self.bb_retire_gate_fraction}")
         if not 0 < self.delta < 1:
-            raise ConfigError("delta must be in (0, 1)")
+            raise ConfigError(f"delta must be in (0, 1), got {self.delta}")
+        if self.mean_delta is not None and not 0 < self.mean_delta < 1:
+            raise ConfigError(
+                f"mean_delta must be None or in (0, 1), "
+                f"got {self.mean_delta}")
         if not 0 < self.stable_bb_rate <= 1:
-            raise ConfigError("stable_bb_rate must be in (0, 1]")
+            raise ConfigError(
+                f"stable_bb_rate must be in (0, 1], "
+                f"got {self.stable_bb_rate}")
         if not 0 < self.dominant_warp_rate <= 1:
-            raise ConfigError("dominant_warp_rate must be in (0, 1]")
+            raise ConfigError(
+                f"dominant_warp_rate must be in (0, 1], "
+                f"got {self.dominant_warp_rate}")
         if self.bbv_dim < 1:
-            raise ConfigError("bbv_dim must be >= 1")
+            raise ConfigError(f"bbv_dim must be >= 1, got {self.bbv_dim}")
         if self.gpu_bbv_clusters < 1:
-            raise ConfigError("gpu_bbv_clusters must be >= 1")
+            raise ConfigError(
+                f"gpu_bbv_clusters must be >= 1, "
+                f"got {self.gpu_bbv_clusters}")
+        if self.kernel_distance < 0:
+            raise ConfigError(
+                f"kernel_distance must be >= 0, "
+                f"got {self.kernel_distance}")
+        if self.rare_bb_min_samples < 1:
+            raise ConfigError(
+                f"rare_bb_min_samples must be >= 1, "
+                f"got {self.rare_bb_min_samples}")
 
     def with_levels(self, kernel: bool = True, warp: bool = True,
                     bb: bool = True) -> "PhotonConfig":

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..reliability.faults import FaultPlan
 from ..timing.engine import DetailedEngine, EngineListener
 from .config import PhotonConfig
 from .lsq import StabilityDetector
@@ -29,9 +30,11 @@ class BBSamplingDetector(EngineListener):
     """
 
     def __init__(self, analysis: OnlineAnalysis, config: PhotonConfig,
-                 warp_capacity: Optional[int] = None):
+                 warp_capacity: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.analysis = analysis
         self.config = config
+        self.fault_plan = fault_plan
         self._detectors: Dict[int, StabilityDetector] = {}
         self._stable: Dict[int, bool] = {}
         self._stable_rate = 0.0
@@ -82,6 +85,12 @@ class BBSamplingDetector(EngineListener):
                 self._switch(end)
 
     def _switch(self, time: float) -> None:
+        if self.fault_plan is not None:
+            # a misfire here models the detector erroring exactly when it
+            # decides to switch, mid detailed run
+            self.fault_plan.arm("detector.bb",
+                                kernel=self.analysis.kernel_name,
+                                level="bb")
         self.switched = True
         self.switch_time = time
         if self._engine is not None:
@@ -111,9 +120,11 @@ class WarpSamplingDetector(EngineListener):
     scheduler.
     """
 
-    def __init__(self, analysis: OnlineAnalysis, config: PhotonConfig):
+    def __init__(self, analysis: OnlineAnalysis, config: PhotonConfig,
+                 fault_plan: Optional[FaultPlan] = None):
         self.analysis = analysis
         self.config = config
+        self.fault_plan = fault_plan
         self.armed = analysis.dominant_rate >= config.dominant_warp_rate
         self._detector = StabilityDetector(
             config.warp_window, config.delta, config.mean_check,
@@ -131,6 +142,10 @@ class WarpSamplingDetector(EngineListener):
             return
         self._detector.add(dispatch, retire)
         if self._detector.is_stable():
+            if self.fault_plan is not None:
+                self.fault_plan.arm("detector.warp",
+                                    kernel=self.analysis.kernel_name,
+                                    level="warp")
             self.switched = True
             self.switch_time = retire
             if self._engine is not None:

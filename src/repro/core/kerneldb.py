@@ -61,6 +61,7 @@ class KernelDB:
     def __init__(self, distance_threshold: float, n_cu: int):
         self.distance_threshold = distance_threshold
         self.n_cu = n_cu
+        self.quarantined = 0  # corrupt records skipped by the loader
         self._records: List[KernelRecord] = []
 
     def __len__(self) -> int:
@@ -69,6 +70,10 @@ class KernelDB:
     def add(self, record: KernelRecord) -> None:
         """Record a simulated kernel for future matches."""
         self._records.append(record)
+
+    def records(self) -> List[KernelRecord]:
+        """All records, in insertion order (public read accessor)."""
+        return list(self._records)
 
     def lookup(
         self,

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Kernel
+from ..reliability.watchdog import WatchdogConfig
 from .bbv import BBVProjector, gpu_bbv, warp_type_key
 from .config import PhotonConfig
 
@@ -65,9 +66,10 @@ def analyze_kernel(
     kernel: Kernel,
     config: PhotonConfig,
     projector: BBVProjector,
+    watchdog: "WatchdogConfig | None" = None,
 ) -> OnlineAnalysis:
     """Run the online analysis for one kernel launch."""
-    executor = FunctionalExecutor(kernel)
+    executor = FunctionalExecutor(kernel, watchdog=watchdog)
     sample = select_sample(
         kernel.n_warps, config.sample_fraction, config.min_sample_warps
     )

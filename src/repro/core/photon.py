@@ -20,6 +20,17 @@ Per kernel launch (paper Section 4, Figures 7/10/12):
 5. If no level triggers, Photon **falls back to full detailed
    simulation** — accuracy is never sacrificed to force a speedup.
 
+Graceful degradation (the reliability layer): when a sampling level
+raises a *recoverable* error — a :class:`~repro.errors.SamplingError`
+or :class:`~repro.errors.TimingError` attributed to that level — the
+controller does not abort.  It disables the failed level (and any finer
+level) and re-simulates, walking the chain ``bb → warp → kernel →
+full``; full detailed simulation is the always-correct last resort.
+Every step is recorded as a :class:`~repro.reliability.FallbackEvent`
+in the result's error ledger (``KernelResult.errors``).  Corrupt
+analysis-store entries are quarantined and re-analysed rather than
+trusted or fatal.
+
 The controller also supports the paper's online/offline trade-off
 (Section 6.3): online-analysis results are microarchitecture-agnostic
 and can be cached in an :class:`AnalysisStore` keyed by program
@@ -29,11 +40,15 @@ fingerprint and grid, skipping re-analysis on later runs.
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..config.gpu_configs import GpuConfig
+from ..errors import SamplingError, TimingError
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Application, Kernel
+from ..reliability.faults import FaultPlan
+from ..reliability.ledger import FALLBACK_CHAIN, FallbackEvent
+from ..reliability.watchdog import WatchdogConfig
 from ..timing.caches import MemoryHierarchy
 from ..timing.engine import DetailedEngine
 from ..timing.fastmodel import schedule_only
@@ -45,17 +60,23 @@ from .interval import IntervalModel
 from .kerneldb import KernelDB, KernelRecord
 from .online import OnlineAnalysis, analyze_kernel
 
+StoreKey = Tuple[int, int, int]
+
+#: recoverable error classes the degradation ladder absorbs
+_RECOVERABLE = (SamplingError, TimingError)
+
 
 class AnalysisStore:
     """Cache of online-analysis results for offline reuse (§6.3)."""
 
     def __init__(self) -> None:
-        self._entries: Dict[Tuple[int, int, int], OnlineAnalysis] = {}
+        self._entries: Dict[StoreKey, OnlineAnalysis] = {}
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0  # entries dropped as corrupt
 
     @staticmethod
-    def key_of(kernel: Kernel) -> Tuple[int, int, int]:
+    def key_of(kernel: Kernel) -> StoreKey:
         return (kernel.program.fingerprint, kernel.n_warps, kernel.wg_size)
 
     def get(self, kernel: Kernel) -> Optional[OnlineAnalysis]:
@@ -69,6 +90,21 @@ class AnalysisStore:
     def put(self, kernel: Kernel, analysis: OnlineAnalysis) -> None:
         self._entries[self.key_of(kernel)] = analysis
 
+    def insert(self, key: StoreKey, analysis: OnlineAnalysis) -> None:
+        """Insert under an explicit key (used by the persistence loader)."""
+        self._entries[tuple(key)] = analysis
+
+    def items(self) -> Iterator[Tuple[StoreKey, OnlineAnalysis]]:
+        """Iterate ``(key, analysis)`` pairs (the public accessor)."""
+        return iter(self._entries.items())
+
+    def discard(self, kernel: Kernel) -> bool:
+        """Quarantine the entry for ``kernel``; True if one was dropped."""
+        if self._entries.pop(self.key_of(kernel), None) is not None:
+            self.quarantined += 1
+            return True
+        return False
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -79,6 +115,9 @@ class Photon:
     One instance carries warm state across an application's kernels: the
     cache hierarchy, the kernel database, the instruction-latency table
     feeding the interval model, and (optionally) an analysis store.
+    ``watchdog`` bounds every internal simulation loop; ``fault_plan``
+    deterministically injects failures (tests use it to prove the
+    degradation paths).
     """
 
     def __init__(
@@ -86,6 +125,8 @@ class Photon:
         gpu_config: GpuConfig,
         config: Optional[PhotonConfig] = None,
         analysis_store: Optional[AnalysisStore] = None,
+        watchdog: Optional[WatchdogConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.gpu_config = gpu_config
         self.config = config or PhotonConfig()
@@ -95,15 +136,86 @@ class Photon:
         self.interval_model = IntervalModel(gpu_config)
         self.hierarchy = MemoryHierarchy(gpu_config)
         self.analysis_store = analysis_store
+        self.watchdog = watchdog
+        self.fault_plan = fault_plan
 
     # -- public API --------------------------------------------------------------
 
     def simulate_kernel(self, kernel: Kernel) -> KernelResult:
-        """Simulate one kernel launch with sampling; return its result."""
-        t0 = _time.perf_counter()
-        analysis = self._get_analysis(kernel)
+        """Simulate one kernel launch with sampling; return its result.
 
-        if self.config.enable_kernel_sampling:
+        Recoverable failures inside a sampling level degrade to the next
+        level of the chain (ultimately full detailed simulation); each
+        degradation is recorded in the result's error ledger.
+        """
+        t0 = _time.perf_counter()
+        ledger: List[FallbackEvent] = []
+        allow = {
+            "kernel": self.config.enable_kernel_sampling,
+            "warp": self.config.enable_warp_sampling,
+            "bb": self.config.enable_bb_sampling,
+        }
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = self._attempt_kernel(kernel, allow, ledger)
+                break
+            except _RECOVERABLE as exc:
+                level = getattr(exc, "photon_level", None)
+                if level not in allow or not allow[level]:
+                    raise  # not attributable to a disableable level
+                self._degrade(kernel, level, allow, ledger, exc)
+                # a failed attempt may have half-warmed the cache
+                # hierarchy; reset so the retry is deterministic
+                self.hierarchy.reset_timing()
+        result.errors.extend(ledger)
+        result.wall_seconds = _time.perf_counter() - t0
+        if attempt > 1:
+            result.meta["degraded_attempts"] = attempt
+        return result
+
+    def simulate_app(self, app: Application,
+                     method_name: str = "photon") -> AppResult:
+        """Simulate a whole application kernel by kernel."""
+        result = AppResult(app_name=app.name, method=method_name)
+        for kernel in app.kernels:
+            self.hierarchy.reset_timing()
+            result.kernels.append(self.simulate_kernel(kernel))
+        return result
+
+    # -- degradation ladder ------------------------------------------------------
+
+    @staticmethod
+    def _degrade(kernel: Kernel, level: str, allow: Dict[str, bool],
+                 ledger: List[FallbackEvent], exc: Exception) -> None:
+        """Disable ``level`` (and finer levels) after a failure there."""
+        idx = FALLBACK_CHAIN.index(level)
+        for finer in FALLBACK_CHAIN[:idx + 1]:
+            if finer in allow:
+                allow[finer] = False
+        to_level = next(
+            (lv for lv in FALLBACK_CHAIN[idx + 1:-1] if allow.get(lv)),
+            "full")
+        ledger.append(FallbackEvent(
+            kernel=kernel.name,
+            from_level=level,
+            to_level=to_level,
+            error=type(exc).__name__,
+            message=str(exc),
+        ))
+
+    # -- internals ------------------------------------------------------------------
+
+    def _attempt_kernel(self, kernel: Kernel, allow: Dict[str, bool],
+                        ledger: List[FallbackEvent]) -> KernelResult:
+        """One pass through the sampling levels currently allowed."""
+        analysis = self._get_analysis(kernel, ledger)
+
+        if allow["kernel"]:
+            if self.fault_plan is not None:
+                self.fault_plan.arm("level.kernel", kernel=kernel.name,
+                                    level="kernel")
             prediction = self.kernel_db.lookup(
                 analysis.gpu_bbv, kernel.n_warps, analysis.sample_insts)
             if prediction is not None:
@@ -118,7 +230,7 @@ class Photon:
                 result = KernelResult(
                     kernel_name=kernel.name,
                     sim_time=prediction.predicted_time,
-                    wall_seconds=_time.perf_counter() - t0,
+                    wall_seconds=0.0,
                     n_insts=int(prediction.predicted_insts),
                     mode="kernel",
                     detail_insts=0,
@@ -126,8 +238,7 @@ class Photon:
                 result.meta["matched_kernel"] = prediction.matched.name
                 return result
 
-        result = self._simulate_intra_kernel(kernel, analysis)
-        result.wall_seconds = _time.perf_counter() - t0
+        result = self._simulate_intra_kernel(kernel, analysis, allow)
         self.kernel_db.add(KernelRecord(
             name=kernel.name,
             gpu_bbv=analysis.gpu_bbv,
@@ -138,46 +249,56 @@ class Photon:
         ))
         return result
 
-    def simulate_app(self, app: Application,
-                     method_name: str = "photon") -> AppResult:
-        """Simulate a whole application kernel by kernel."""
-        result = AppResult(app_name=app.name, method=method_name)
-        for kernel in app.kernels:
-            self.hierarchy.reset_timing()
-            result.kernels.append(self.simulate_kernel(kernel))
-        return result
-
-    # -- internals ------------------------------------------------------------------
-
-    def _get_analysis(self, kernel: Kernel) -> OnlineAnalysis:
+    def _get_analysis(self, kernel: Kernel,
+                      ledger: List[FallbackEvent]) -> OnlineAnalysis:
         if self.analysis_store is not None:
-            cached = self.analysis_store.get(kernel)
-            if cached is not None:
-                return cached
-        analysis = analyze_kernel(kernel, self.config, self.projector)
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.arm("analysis.store",
+                                        kernel=kernel.name, level="store")
+                cached = self.analysis_store.get(kernel)
+            except _RECOVERABLE as exc:
+                # corrupt cached entry: quarantine it and re-analyse
+                self.analysis_store.discard(kernel)
+                ledger.append(FallbackEvent(
+                    kernel=kernel.name,
+                    from_level="store",
+                    to_level="analysis",
+                    error=type(exc).__name__,
+                    message=str(exc),
+                ))
+            else:
+                if cached is not None:
+                    return cached
+        analysis = analyze_kernel(kernel, self.config, self.projector,
+                                  watchdog=self.watchdog)
         if self.analysis_store is not None:
             self.analysis_store.put(kernel, analysis)
         return analysis
 
     def _simulate_intra_kernel(
-        self, kernel: Kernel, analysis: OnlineAnalysis
+        self, kernel: Kernel, analysis: OnlineAnalysis,
+        allow: Dict[str, bool],
     ) -> KernelResult:
         engine = DetailedEngine(
             kernel,
             self.gpu_config,
             hierarchy=self.hierarchy,
             collect_latency=True,
+            watchdog=self.watchdog,
         )
         bb_detector = None
         warp_detector = None
-        if self.config.enable_bb_sampling:
+        if allow["bb"]:
             capacity = (self.gpu_config.n_cu
                         * self.gpu_config.max_warps_per_cu)
             bb_detector = BBSamplingDetector(analysis, self.config,
-                                             warp_capacity=capacity)
+                                             warp_capacity=capacity,
+                                             fault_plan=self.fault_plan)
             engine.attach(bb_detector)
-        if self.config.enable_warp_sampling:
-            warp_detector = WarpSamplingDetector(analysis, self.config)
+        if allow["warp"]:
+            warp_detector = WarpSamplingDetector(analysis, self.config,
+                                                 fault_plan=self.fault_plan)
             if warp_detector.armed:
                 engine.attach(warp_detector)
 
@@ -211,6 +332,9 @@ class Photon:
 
     def _finish_warp_sampling(self, kernel, analysis, detailed,
                               detector, remaining) -> KernelResult:
+        if self.fault_plan is not None:
+            self.fault_plan.arm("level.warp", kernel=kernel.name,
+                                level="warp")
         mean = detector.mean_warp_duration()
         durations = {warp_id: mean for warp_id in remaining}
         fast = schedule_only(
@@ -233,11 +357,13 @@ class Photon:
 
     def _finish_bb_sampling(self, kernel, analysis, detailed,
                             detector, remaining) -> KernelResult:
+        if self.fault_plan is not None:
+            self.fault_plan.arm("level.bb", kernel=kernel.name, level="bb")
         table = detector.bb_time_table()
         interval_cache: Dict[int, float] = {}
         duration_cache: Dict[Tuple[int, ...], float] = {}
         program = kernel.program
-        executor = FunctionalExecutor(kernel)
+        executor = FunctionalExecutor(kernel, watchdog=self.watchdog)
 
         def bb_time(pc: int) -> float:
             known = table.get(pc)

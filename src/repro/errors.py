@@ -39,5 +39,27 @@ class ConfigError(ReproError):
     """Invalid simulator or methodology configuration."""
 
 
+class ReliabilityError(ReproError):
+    """Base class for watchdog trips and other reliability-layer errors."""
+
+
+class BudgetExceeded(ReliabilityError):
+    """A watchdog budget was exhausted (events, instructions, deadline)."""
+
+
+class SimulationStalled(ReliabilityError):
+    """The simulation stopped making progress (spin loop / deadlock)."""
+
+
+class InjectedFault(SamplingError):
+    """Deterministic fault raised by a :class:`~repro.reliability.FaultPlan`.
+
+    Subclasses :class:`SamplingError` so that, by default, injected faults
+    exercise the controller's recoverable-degradation paths; a
+    :class:`~repro.reliability.FaultSpec` may substitute any other error
+    class to test unrecoverable routes.
+    """
+
+
 class WorkloadError(ReproError):
     """Invalid workload parameters (e.g. non-positive problem size)."""

@@ -30,6 +30,8 @@ import numpy as np
 from ..errors import ExecutionError
 from ..isa.instructions import Instruction
 from ..isa.opcodes import Imm, OpClass, Opcode, SReg, VReg
+from ..reliability.faults import FaultPlan
+from ..reliability.watchdog import WatchdogConfig
 from .kernel import (
     FIRST_ARG_SREG,
     Kernel,
@@ -213,10 +215,14 @@ class _StaticInfo:
 class FunctionalExecutor:
     """Interprets warps of one kernel."""
 
-    def __init__(self, kernel: Kernel, max_steps: int = DEFAULT_MAX_STEPS):
+    def __init__(self, kernel: Kernel, max_steps: int = DEFAULT_MAX_STEPS,
+                 watchdog: Optional[WatchdogConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.kernel = kernel
         self.program = kernel.program
         self.max_steps = int(kernel.meta.get("max_steps", max_steps))
+        self.watchdog = watchdog
+        self.fault_plan = fault_plan
         leaders = {b.start for b in self.program.blocks}
         self._static = [
             _StaticInfo(inst, leaders) for inst in self.program.instructions
@@ -224,6 +230,14 @@ class FunctionalExecutor:
         for pc in leaders:
             self._static[pc].is_leader = True
         self._leaders = leaders
+
+    def _watchdog_for(self, warp_id: int):
+        """Armed per-warp watchdog, or None when nothing is configured."""
+        if self.watchdog is None:
+            return None
+        wd = self.watchdog.for_executor(
+            f"executor({self.kernel.name!r} warp {warp_id})")
+        return wd if wd.armed else None
 
     # -- register-file setup --------------------------------------------------
 
@@ -276,6 +290,9 @@ class FunctionalExecutor:
         steps = 0
         dyn = 0
         max_steps = self.max_steps
+        wd = self._watchdog_for(warp_id)
+        wd_seen = bytearray(len(static)) if wd is not None else None
+        plan = self.fault_plan
         lane_ids = np.arange(warp_size, dtype=np.float64)
         read_gather = memory.read_gather
         write_scatter = memory.write_scatter
@@ -297,9 +314,17 @@ class FunctionalExecutor:
                     f"{max_steps} steps (runaway loop?)"
                 )
             info = static[pc]
+            if wd is not None:
+                if not wd_seen[pc]:
+                    wd_seen[pc] = 1
+                    wd.note_progress()
+                wd.tick()
             if info.is_leader:
                 t_bb.append((pc, dyn))
             kind = info.kind
+            if plan is not None and (kind == _K_VLOAD or kind == _K_VSTORE
+                                     or kind == _K_SLOAD):
+                plan.arm("executor.memory", kernel=kernel.name)
 
             # dependency = youngest producer of any read register
             dep = -1
@@ -512,6 +537,8 @@ class FunctionalExecutor:
         steps = 0
         n_insts = 0
         max_steps = self.max_steps
+        wd = self._watchdog_for(warp_id)
+        wd_seen = bytearray(len(static)) if wd is not None else None
 
         def val(spec):
             tag, x = spec
@@ -525,6 +552,11 @@ class FunctionalExecutor:
                     f"{max_steps} steps (runaway loop?)"
                 )
             info = static[pc]
+            if wd is not None:
+                if not wd_seen[pc]:
+                    wd_seen[pc] = 1
+                    wd.note_progress()
+                wd.tick()
             if info.is_leader:
                 bb_seq.append(pc)
             kind = info.kind

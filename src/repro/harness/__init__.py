@@ -11,6 +11,7 @@ from .metrics import (
     Comparison,
     compare_apps,
     compare_kernels,
+    failed_comparison,
     sim_time_error,
     wall_speedup,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "compare_apps",
     "compare_kernels",
     "comparison_table",
+    "failed_comparison",
     "format_table",
     "measure_online_offline",
     "run_methods_app",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import SamplingError
+from ..errors import ReproError, SamplingError
 from ..timing.simulator import AppResult, KernelResult
 
 
@@ -32,7 +32,13 @@ def wall_speedup(full_wall: float, sampled_wall: float) -> float:
 
 @dataclass
 class Comparison:
-    """One (workload, size, method) evaluation row."""
+    """One (workload, size, method) evaluation row.
+
+    A row may represent a *failed* method run: ``error_class`` then names
+    the exception class, ``error`` carries its one-line message, and the
+    metric properties return NaN instead of raising — so a sweep with one
+    bad method still renders a complete table.
+    """
 
     workload: str
     size: int
@@ -43,14 +49,45 @@ class Comparison:
     sampled_wall: float
     mode: str = ""
     detail_fraction: float = 1.0
+    error: str = ""        # message of the failure that produced this row
+    error_class: str = ""  # exception class name; "" means success
+    fallbacks: int = 0     # error-ledger length of the producing result
+
+    @property
+    def ok(self) -> bool:
+        return not self.error_class
 
     @property
     def error_pct(self) -> float:
+        if self.error_class:
+            return float("nan")
         return sim_time_error(self.full_time, self.sampled_time)
 
     @property
     def speedup(self) -> float:
+        if self.error_class:
+            return float("nan")
         return wall_speedup(self.full_wall, self.sampled_wall)
+
+
+def failed_comparison(workload: str, size: int, method: str,
+                      exc: ReproError,
+                      full: "KernelResult | AppResult | None" = None,
+                      ) -> Comparison:
+    """A row recording that ``method`` failed instead of producing data."""
+    return Comparison(
+        workload=workload,
+        size=size,
+        method=method,
+        full_time=full.sim_time if full is not None else float("nan"),
+        sampled_time=float("nan"),
+        full_wall=full.wall_seconds if full is not None else float("nan"),
+        sampled_wall=float("nan"),
+        mode="error",
+        detail_fraction=0.0,
+        error=str(exc),
+        error_class=type(exc).__name__,
+    )
 
 
 def compare_kernels(workload: str, size: int, method: str,
@@ -67,6 +104,7 @@ def compare_kernels(workload: str, size: int, method: str,
         sampled_wall=sampled.wall_seconds,
         mode=sampled.mode,
         detail_fraction=sampled.detail_fraction,
+        fallbacks=len(sampled.errors),
     )
 
 
@@ -88,4 +126,5 @@ def compare_apps(workload: str, method: str, full: AppResult,
         sampled_wall=sampled.wall_seconds,
         mode=dominant,
         detail_fraction=detail / total if total else 1.0,
+        fallbacks=len(sampled.errors),
     )

@@ -3,6 +3,14 @@
 Each method gets a freshly built kernel/application (same seed, hence
 identical workload and data) so that no method benefits from another's
 warm state, matching how the paper runs each configuration separately.
+
+Sweep isolation: one misbehaving method (or one bad problem size) must
+never poison a whole evaluation.  Every method run is wrapped in a
+bounded :class:`~repro.reliability.RetryPolicy` (transient watchdog
+trips get a second attempt) and, failing that, collapses into a *failed*
+:class:`~repro.harness.metrics.Comparison` row carrying the error class
+and message — the remaining methods still run and report.  Pass
+``isolate=False`` to get the old fail-fast behaviour.
 """
 
 from __future__ import annotations
@@ -16,8 +24,11 @@ from ..baselines.pka import PKA, PkaConfig
 from ..config.gpu_configs import GpuConfig
 from ..core.config import PhotonConfig
 from ..core.photon import AnalysisStore, Photon
-from ..errors import WorkloadError
+from ..errors import ReproError, WorkloadError
 from ..functional.kernel import Application, Kernel
+from ..reliability.faults import FaultPlan
+from ..reliability.retry import NO_RETRY, RetryPolicy
+from ..reliability.watchdog import WatchdogConfig
 from ..timing.simulator import (
     AppResult,
     KernelResult,
@@ -26,7 +37,12 @@ from ..timing.simulator import (
 )
 from ..workloads.base import REGISTRY
 from .defaults import EVAL_PHOTON, EVAL_R9NANO
-from .metrics import Comparison, compare_apps, compare_kernels
+from .metrics import (
+    Comparison,
+    compare_apps,
+    compare_kernels,
+    failed_comparison,
+)
 
 KernelFactory = Callable[[], Kernel]
 AppFactory = Callable[[], Application]
@@ -58,15 +74,32 @@ def run_methods_kernel(
     methods: Sequence[str] = ("pka", "photon"),
     photon_config: Optional[PhotonConfig] = None,
     pka_config: Optional[PkaConfig] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    isolate: bool = True,
 ) -> List[Comparison]:
     """Run one kernel fully detailed plus each sampled method.
 
     ``methods`` may contain "pka", "photon", or any key of
-    :data:`LEVEL_METHODS` (level ablations).
+    :data:`LEVEL_METHODS` (level ablations).  Unknown method names always
+    raise :class:`WorkloadError` (a typo is a caller bug, not a sweep
+    casualty); failures *inside* a known method become failed rows when
+    ``isolate`` is on.
     """
     gpu = gpu or EVAL_R9NANO
     photon_config = photon_config or EVAL_PHOTON
-    full = simulate_kernel_detailed(factory(), gpu)
+    retry = retry or NO_RETRY
+    _check_methods(methods)
+    try:
+        full = retry.run(lambda: simulate_kernel_detailed(
+            factory(), gpu, watchdog=watchdog))
+    except ReproError as exc:
+        if not isolate:
+            raise
+        # no baseline: every row of this (workload, size) cell fails
+        return [failed_comparison(workload, size, m, exc)
+                for m in ("full", *methods)]
     rows = [Comparison(
         workload=workload, size=size, method="full",
         full_time=full.sim_time, sampled_time=full.sim_time,
@@ -74,8 +107,16 @@ def run_methods_kernel(
         mode="full", detail_fraction=1.0,
     )]
     for method in methods:
-        sampled = _run_one_kernel(factory(), method, gpu,
-                                  photon_config, pka_config)
+        try:
+            sampled = retry.run(lambda: _run_one_kernel(
+                factory(), method, gpu, photon_config, pka_config,
+                watchdog, fault_plan))
+        except ReproError as exc:
+            if not isolate:
+                raise
+            rows.append(failed_comparison(workload, size, method, exc,
+                                          full=full))
+            continue
         rows.append(compare_kernels(workload, size, method, full, sampled))
     return rows
 
@@ -87,34 +128,68 @@ def run_methods_app(
     methods: Sequence[str] = ("photon",),
     photon_config: Optional[PhotonConfig] = None,
     pka_config: Optional[PkaConfig] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    isolate: bool = True,
 ) -> Dict[str, object]:
     """Run an application fully detailed plus each sampled method.
 
     Returns ``{"full": AppResult, method: AppResult, "rows": [Comparison]}``
-    so benches can also inspect per-kernel results (Figure 17).
+    so benches can also inspect per-kernel results (Figure 17).  Failed
+    methods contribute a failed row and no ``out[method]`` entry.
     """
     gpu = gpu or EVAL_R9NANO
     photon_config = photon_config or EVAL_PHOTON
-    full = simulate_app_detailed(factory(), gpu)
-    out: Dict[str, object] = {"full": full}
+    retry = retry or NO_RETRY
+    _check_methods(methods)
     rows: List[Comparison] = []
+    out: Dict[str, object] = {"rows": rows}
+    try:
+        full = retry.run(lambda: simulate_app_detailed(
+            factory(), gpu, watchdog=watchdog))
+    except ReproError as exc:
+        if not isolate:
+            raise
+        rows.extend(failed_comparison(workload, 0, m, exc)
+                    for m in ("full", *methods))
+        return out
+    out["full"] = full
     for method in methods:
-        sampled = _run_one_app(factory(), method, gpu,
-                               photon_config, pka_config)
+        try:
+            sampled = retry.run(lambda: _run_one_app(
+                factory(), method, gpu, photon_config, pka_config,
+                watchdog, fault_plan))
+        except ReproError as exc:
+            if not isolate:
+                raise
+            rows.append(failed_comparison(workload, full.n_insts, method,
+                                          exc, full=full))
+            continue
         out[method] = sampled
         rows.append(compare_apps(workload, method, full, sampled))
-    out["rows"] = rows
     return out
 
 
-def _photon_for(method: str, gpu: GpuConfig,
-                config: PhotonConfig) -> Photon:
+def _check_methods(methods: Sequence[str]) -> None:
+    """Reject unknown method names up front (typos must not be isolated)."""
+    for method in methods:
+        if method not in _BASELINES and method not in LEVEL_METHODS:
+            raise WorkloadError(
+                f"unknown method {method!r}; choose from "
+                f"{sorted(_BASELINES) + sorted(LEVEL_METHODS)}")
+
+
+def _photon_for(method: str, gpu: GpuConfig, config: PhotonConfig,
+                watchdog: Optional[WatchdogConfig],
+                fault_plan: Optional[FaultPlan]) -> Photon:
     levels = LEVEL_METHODS.get(method)
     if levels is None:
         raise WorkloadError(
             f"unknown method {method!r}; choose from "
             f"{sorted(_BASELINES) + sorted(LEVEL_METHODS)}")
-    return Photon(gpu, config.with_levels(**levels))
+    return Photon(gpu, config.with_levels(**levels), watchdog=watchdog,
+                  fault_plan=fault_plan)
 
 
 _BASELINES = {"pka": PKA, "sieve": Sieve, "gtpin": GTPin,
@@ -123,22 +198,33 @@ _BASELINES = {"pka": PKA, "sieve": Sieve, "gtpin": GTPin,
 
 def _run_one_kernel(kernel: Kernel, method: str, gpu: GpuConfig,
                     photon_config: PhotonConfig,
-                    pka_config: Optional[PkaConfig]) -> KernelResult:
+                    pka_config: Optional[PkaConfig],
+                    watchdog: Optional[WatchdogConfig] = None,
+                    fault_plan: Optional[FaultPlan] = None) -> KernelResult:
+    if fault_plan is not None:
+        fault_plan.arm("harness.method", kernel=method)
     if method == "pka":
         return PKA(gpu, pka_config).simulate_kernel(kernel)
     if method in _BASELINES:
         return _BASELINES[method](gpu).simulate_kernel(kernel)
-    return _photon_for(method, gpu, photon_config).simulate_kernel(kernel)
+    simulator = _photon_for(method, gpu, photon_config, watchdog,
+                            fault_plan)
+    return simulator.simulate_kernel(kernel)
 
 
 def _run_one_app(app: Application, method: str, gpu: GpuConfig,
                  photon_config: PhotonConfig,
-                 pka_config: Optional[PkaConfig]) -> AppResult:
+                 pka_config: Optional[PkaConfig],
+                 watchdog: Optional[WatchdogConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> AppResult:
+    if fault_plan is not None:
+        fault_plan.arm("harness.method", kernel=method)
     if method == "pka":
         return PKA(gpu, pka_config).simulate_app(app)
     if method in _BASELINES:
         return _BASELINES[method](gpu).simulate_app(app, method_name=method)
-    simulator = _photon_for(method, gpu, photon_config)
+    simulator = _photon_for(method, gpu, photon_config, watchdog,
+                            fault_plan)
     return simulator.simulate_app(app, method_name=method)
 
 
@@ -148,15 +234,31 @@ def sweep_sizes(
     gpu: Optional[GpuConfig] = None,
     methods: Sequence[str] = ("pka", "photon"),
     photon_config: Optional[PhotonConfig] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    isolate: bool = True,
     **workload_kwargs,
 ) -> List[Comparison]:
-    """Sweep a single-kernel workload over problem sizes (Figure 13/14)."""
+    """Sweep a single-kernel workload over problem sizes (Figure 13/14).
+
+    A size whose kernel cannot even be built contributes one failed row
+    (method ``"build"``) instead of aborting the remaining sizes.
+    """
     rows: List[Comparison] = []
     for size in sizes:
-        factory = workload_factory(workload, size, **workload_kwargs)
+        try:
+            factory = workload_factory(workload, size, **workload_kwargs)
+            factory()  # surface workload construction errors per size
+        except ReproError as exc:
+            if not isolate:
+                raise
+            rows.append(failed_comparison(workload, size, "build", exc))
+            continue
         rows.extend(run_methods_kernel(
             factory, workload, size, gpu=gpu, methods=methods,
-            photon_config=photon_config))
+            photon_config=photon_config, watchdog=watchdog,
+            fault_plan=fault_plan, retry=retry, isolate=isolate))
     return rows
 
 
@@ -179,6 +281,6 @@ def measure_online_offline(
     return {
         "online_wall": online_wall,
         "offline_wall": offline_wall,
-        "store_entries": float(len(store)),
+        "store_entries": float(sum(1 for _ in store.items())),
         "store_hits": float(store.hits),
     }

@@ -34,17 +34,28 @@ def _cell(x: object) -> str:
 
 
 def comparison_table(rows: Iterable[Comparison]) -> str:
-    """Standard error/speedup table for a set of comparison rows."""
-    headers = ("workload", "size", "method", "sim_time", "err_%",
-               "wall_s", "speedup", "mode", "detail_frac")
+    """Standard error/speedup table for a set of comparison rows.
+
+    When any row records a failure, an extra ``status`` column names the
+    exception class so the cause survives into the rendered table.
+    """
+    rows = list(rows)
+    headers = ["workload", "size", "method", "sim_time", "err_%",
+               "wall_s", "speedup", "mode", "detail_frac"]
+    with_status = any(not row.ok for row in rows)
+    if with_status:
+        headers.append("status")
     body = []
     for row in rows:
-        body.append((
+        cells = [
             row.workload, row.size, row.method,
             row.sampled_time, row.error_pct,
             row.sampled_wall, row.speedup, row.mode,
             row.detail_fraction,
-        ))
+        ]
+        if with_status:
+            cells.append(row.error_class or "ok")
+        body.append(cells)
     return format_table(headers, body)
 
 

@@ -1,0 +1,35 @@
+"""SimGuard: watchdogs, fault injection, and graceful degradation.
+
+The reliability layer gives the simulation stack three guarantees:
+
+* **bounded execution** — :class:`WatchdogConfig` budgets (events,
+  instructions, wall-clock deadline, stall detection) enforced inside
+  the detailed engine and the functional executor;
+* **provable recovery** — :class:`FaultPlan` injects deterministic
+  faults at named sites so every degradation path can be exercised by
+  tests;
+* **graceful degradation** — the Photon controller falls back
+  level-by-level (``bb → warp → kernel → full``) on recoverable errors
+  and records each step as a :class:`FallbackEvent` in the result's
+  error ledger; the evaluation harness isolates per-method failures
+  behind a :class:`RetryPolicy`.
+
+See ``docs/robustness.md`` for the full knob reference.
+"""
+
+from .faults import FaultPlan, FaultSpec
+from .ledger import FALLBACK_CHAIN, FallbackEvent
+from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy
+from .watchdog import Watchdog, WatchdogConfig
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "FALLBACK_CHAIN",
+    "FaultPlan",
+    "FaultSpec",
+    "FallbackEvent",
+    "NO_RETRY",
+    "RetryPolicy",
+    "Watchdog",
+    "WatchdogConfig",
+]

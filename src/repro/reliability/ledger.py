@@ -1,0 +1,41 @@
+"""Per-run error ledger: what went wrong and what the stack did about it.
+
+Every recovery the controller performs — a sampling level degraded, a
+corrupt analysis-store entry quarantined — is recorded as a
+:class:`FallbackEvent` on the produced
+:class:`~repro.timing.simulator.KernelResult` (``result.errors``) so a
+sweep's accuracy numbers can always be audited against the failures
+absorbed while producing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: degradation chain, finest sampling first; "full" always succeeds
+FALLBACK_CHAIN = ("bb", "warp", "kernel", "full")
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One recovery step taken while simulating a kernel."""
+
+    kernel: str       # kernel name the failure occurred in
+    from_level: str   # level that failed ("bb", "warp", "kernel", "store")
+    to_level: str     # level the controller degraded to
+    error: str        # exception class name
+    message: str      # one-line description
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "kernel": self.kernel,
+            "from_level": self.from_level,
+            "to_level": self.to_level,
+            "error": self.error,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - convenience repr
+        return (f"{self.kernel}: {self.from_level} -> {self.to_level} "
+                f"({self.error}: {self.message})")

@@ -1,0 +1,55 @@
+"""Bounded retry for transient reliability trips.
+
+Watchdog budgets are deliberately conservative: a sweep sharing one
+deadline across many methods can trip on a method that would succeed
+given a second, uncontended attempt.  :class:`RetryPolicy` bounds how
+many times the harness re-runs a failed method and which error classes
+are considered transient — everything else fails fast on the first
+attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple, Type, TypeVar
+
+from ..errors import (
+    BudgetExceeded,
+    ConfigError,
+    ReproError,
+    SimulationStalled,
+)
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts one method run gets, and what is retryable."""
+
+    max_attempts: int = 2
+    transient: Tuple[Type[ReproError], ...] = (BudgetExceeded,
+                                               SimulationStalled)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}")
+
+    def run(self, fn: Callable[[], T]) -> T:
+        """Call ``fn``, retrying transient failures up to the bound."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except self.transient:
+                if attempt >= self.max_attempts:
+                    raise
+
+
+#: policy used when the caller does not care: one retry on budget trips
+DEFAULT_RETRY = RetryPolicy()
+
+#: policy that never retries (first failure is final)
+NO_RETRY = RetryPolicy(max_attempts=1)

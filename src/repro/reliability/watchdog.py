@@ -1,0 +1,129 @@
+"""Bounded execution for the simulation stack.
+
+A :class:`WatchdogConfig` describes budgets; each simulation loop that
+honours it (the detailed timing engine, the functional executor) creates
+one disposable :class:`Watchdog` per run and ticks it once per unit of
+work.  Budgets map onto typed errors:
+
+* ``max_events`` / ``max_instructions`` / ``deadline_seconds`` →
+  :class:`~repro.errors.BudgetExceeded`;
+* progress-stall detection (``stall_events`` / ``stall_instructions``) →
+  :class:`~repro.errors.SimulationStalled`.
+
+"Progress" is loop-specific: the event engine reports progress whenever
+simulated time advances (thousands of events at a frozen timestamp mean
+a causality bug or a barrier deadlock); the functional executor reports
+progress the first time each *static* instruction is reached (a warp
+that keeps spinning through already-visited code without terminating is
+a runaway loop).  Stall thresholds must therefore exceed the largest
+legitimate burst of progress-free work — they default to off.
+
+The wall clock is only polled every ``check_interval`` ticks so an armed
+watchdog costs one integer compare per tick on the hot path.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import BudgetExceeded, ConfigError, SimulationStalled
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Budgets for one simulation run.  ``None`` disables a limit."""
+
+    # detailed engine: scheduled events processed in one kernel run
+    max_events: Optional[int] = None
+    # functional executor: dynamic instructions interpreted per warp
+    max_instructions: Optional[int] = None
+    # host wall-clock deadline per guarded loop, in seconds
+    deadline_seconds: Optional[float] = None
+    # engine stall: events processed without simulated time advancing
+    stall_events: Optional[int] = None
+    # executor stall: instructions since a new static pc was first reached
+    stall_instructions: Optional[int] = None
+    # how many ticks between wall-clock polls
+    check_interval: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in ("max_events", "max_instructions", "deadline_seconds",
+                     "stall_events", "stall_instructions"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value!r}")
+        if self.check_interval < 1:
+            raise ConfigError(
+                f"check_interval must be >= 1, got {self.check_interval!r}")
+
+    def for_engine(self, label: str) -> "Watchdog":
+        """Watchdog instance guarding one detailed-engine run."""
+        return Watchdog(budget=self.max_events,
+                        deadline_seconds=self.deadline_seconds,
+                        stall_ticks=self.stall_events,
+                        check_interval=self.check_interval,
+                        unit="events", label=label)
+
+    def for_executor(self, label: str) -> "Watchdog":
+        """Watchdog instance guarding one functional warp run."""
+        return Watchdog(budget=self.max_instructions,
+                        deadline_seconds=self.deadline_seconds,
+                        stall_ticks=self.stall_instructions,
+                        check_interval=self.check_interval,
+                        unit="instructions", label=label)
+
+
+class Watchdog:
+    """Mutable per-run budget tracker.  Create via :class:`WatchdogConfig`."""
+
+    __slots__ = ("budget", "deadline", "stall_ticks", "check_interval",
+                 "unit", "label", "ticks", "last_progress", "_next_poll",
+                 "_t0")
+
+    def __init__(self, budget: Optional[int], deadline_seconds:
+                 Optional[float], stall_ticks: Optional[int],
+                 check_interval: int, unit: str, label: str):
+        self.budget = budget
+        self.stall_ticks = stall_ticks
+        self.check_interval = check_interval
+        self.unit = unit
+        self.label = label
+        self.ticks = 0
+        self.last_progress = 0
+        self._t0 = _time.monotonic()
+        self.deadline = (self._t0 + deadline_seconds
+                         if deadline_seconds is not None else None)
+        self._next_poll = check_interval
+
+    @property
+    def armed(self) -> bool:
+        """Whether any limit is actually configured."""
+        return (self.budget is not None or self.deadline is not None
+                or self.stall_ticks is not None)
+
+    def note_progress(self) -> None:
+        """Record that the guarded loop made forward progress."""
+        self.last_progress = self.ticks
+
+    def tick(self, n: int = 1) -> None:
+        """Account ``n`` units of work; raise when a budget is exhausted."""
+        self.ticks += n
+        if self.budget is not None and self.ticks > self.budget:
+            raise BudgetExceeded(
+                f"{self.label}: exceeded budget of {self.budget} "
+                f"{self.unit}")
+        if (self.stall_ticks is not None
+                and self.ticks - self.last_progress > self.stall_ticks):
+            raise SimulationStalled(
+                f"{self.label}: no progress in the last "
+                f"{self.ticks - self.last_progress} {self.unit} "
+                f"(stall threshold {self.stall_ticks})")
+        if self.deadline is not None and self.ticks >= self._next_poll:
+            self._next_poll = self.ticks + self.check_interval
+            if _time.monotonic() > self.deadline:
+                raise BudgetExceeded(
+                    f"{self.label}: wall-clock deadline of "
+                    f"{self.deadline - self._t0:.3f}s exceeded after "
+                    f"{self.ticks} {self.unit}")

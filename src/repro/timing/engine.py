@@ -20,10 +20,11 @@ import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config.gpu_configs import GpuConfig
-from ..errors import ConfigError, TimingError
+from ..errors import ConfigError, SimulationStalled, TimingError
 from ..functional.kernel import Kernel
 from ..functional.trace import WarpTrace
 from ..isa.opcodes import OpClass
+from ..reliability.watchdog import WatchdogConfig
 from .caches import MemoryHierarchy
 
 TraceProvider = Callable[[int], WarpTrace]
@@ -137,6 +138,7 @@ class DetailedEngine:
         ipc_bucket: Optional[float] = None,
         collect_latency: bool = False,
         start_time: float = 0.0,
+        watchdog: Optional[WatchdogConfig] = None,
     ):
         if kernel.wg_size > config.max_warps_per_cu:
             raise ConfigError(
@@ -155,6 +157,7 @@ class DetailedEngine:
         self.ipc_bucket = ipc_bucket
         self.collect_latency = collect_latency
         self.start_time = start_time
+        self.watchdog = watchdog
         self._listeners: List[EngineListener] = []
         self._stop_requested = False
         self._abort_requested = False
@@ -287,6 +290,13 @@ class DetailedEngine:
         heappop = heapq.heappop
         is_scalar_port = _IS_SCALAR_PORT
         has_listeners = bool(listeners)
+        wd = None
+        if self.watchdog is not None:
+            wd = self.watchdog.for_engine(
+                f"engine({self.kernel.name})")
+            if not wd.armed:
+                wd = None
+        wd_prev_time = self.start_time
         collect_latency = self.collect_latency
         vector_access = hierarchy.vector_access
         scalar_access = hierarchy.scalar_access
@@ -304,6 +314,11 @@ class DetailedEngine:
 
             t, _, w = heappop(heap)
             self._now = t
+            if wd is not None:
+                if t > wd_prev_time:
+                    wd.note_progress()
+                    wd_prev_time = t
+                wd.tick()
             i = w.i
             opclass = w.cls_list[i]
             cu = w.cu
@@ -424,6 +439,18 @@ class DetailedEngine:
                 ready = w.retires[dep]
             heappush(heap, (ready, seq, w))
             seq += 1
+
+        if barrier_state and not self._abort_requested:
+            # the event heap drained while warps were still parked at a
+            # barrier no remaining warp can release: a deadlock that the
+            # old code reported as a silently-short kernel
+            parked = sorted(
+                run.warp_id for state in barrier_state.values()
+                for run in state[2])
+            raise SimulationStalled(
+                f"kernel {kernel.name!r}: barrier deadlock — warps "
+                f"{parked} parked in workgroups "
+                f"{sorted(barrier_state)} with no runnable warp left")
 
         result.n_insts = n_insts
         result.end_time = end_time

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional
 
 from ..config.gpu_configs import GpuConfig
 from ..functional.kernel import Application, Kernel
+from ..reliability.ledger import FallbackEvent
+from ..reliability.watchdog import WatchdogConfig
 from .caches import MemoryHierarchy
 from .engine import DetailedEngine, EngineListener
 
@@ -29,6 +31,8 @@ class KernelResult:
     mode: str  # "full", "bb", "warp", "kernel", "pka", ...
     detail_insts: int = 0  # instructions actually simulated in detail
     meta: Dict[str, object] = field(default_factory=dict)
+    # error ledger: every fallback/recovery absorbed producing this result
+    errors: List[FallbackEvent] = field(default_factory=list)
 
     @property
     def detail_fraction(self) -> float:
@@ -36,6 +40,11 @@ class KernelResult:
         if self.n_insts == 0:
             return 0.0
         return self.detail_insts / self.n_insts
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any sampling level had to fall back for this kernel."""
+        return bool(self.errors)
 
 
 @dataclass
@@ -71,6 +80,11 @@ class AppResult:
             counts[k.mode] = counts.get(k.mode, 0) + 1
         return counts
 
+    @property
+    def errors(self) -> List[FallbackEvent]:
+        """Aggregated error ledger across every kernel of the app."""
+        return [event for k in self.kernels for event in k.errors]
+
 
 def simulate_kernel_detailed(
     kernel: Kernel,
@@ -78,11 +92,12 @@ def simulate_kernel_detailed(
     hierarchy: Optional[MemoryHierarchy] = None,
     listeners: Optional[List[EngineListener]] = None,
     ipc_bucket: Optional[float] = None,
+    watchdog: Optional[WatchdogConfig] = None,
 ) -> KernelResult:
     """Run ``kernel`` fully in detailed mode."""
     start = _time.perf_counter()
     engine = DetailedEngine(kernel, config, hierarchy=hierarchy,
-                            ipc_bucket=ipc_bucket)
+                            ipc_bucket=ipc_bucket, watchdog=watchdog)
     for listener in listeners or ():
         engine.attach(listener)
     res = engine.run()
@@ -102,13 +117,18 @@ def simulate_kernel_detailed(
     return result
 
 
-def simulate_app_detailed(app: Application, config: GpuConfig) -> AppResult:
+def simulate_app_detailed(
+    app: Application,
+    config: GpuConfig,
+    watchdog: Optional[WatchdogConfig] = None,
+) -> AppResult:
     """Run every kernel of ``app`` fully in detailed mode (warm caches)."""
     result = AppResult(app_name=app.name, method="full")
     hierarchy = MemoryHierarchy(config)
     for kernel in app.kernels:
         hierarchy.reset_timing()
         result.kernels.append(
-            simulate_kernel_detailed(kernel, config, hierarchy=hierarchy)
+            simulate_kernel_detailed(kernel, config, hierarchy=hierarchy,
+                                     watchdog=watchdog)
         )
     return result

@@ -56,3 +56,34 @@ def test_parser_structure():
     assert args.workload == "fir"
     assert args.size == 128
     assert args.gpu == "mi100"
+    assert args.deadline_seconds is None and args.max_events is None
+
+
+def test_watchdog_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(["run", "relu", "--deadline-seconds", "30",
+                              "--max-events", "1000"])
+    assert args.deadline_seconds == 30.0
+    assert args.max_events == 1000
+    args = parser.parse_args(["app", "vgg16", "--max-events", "5"])
+    assert args.max_events == 5
+
+
+def test_repro_error_exits_2_with_one_line_message(capsys):
+    # a negative deadline fails WatchdogConfig validation (ConfigError)
+    code = main(["run", "relu", "--size", "64",
+                 "--deadline-seconds", "-1"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # one line, no traceback
+    assert "ConfigError" in err and "deadline_seconds" in err
+
+
+def test_watchdog_trip_isolated_into_table(capsys):
+    # a tiny event budget trips on the full baseline; the CLI still
+    # renders the table (failed rows) and exits cleanly
+    assert main(["run", "relu", "--size", "64",
+                 "--max-events", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "BudgetExceeded" in out
+    assert "status" in out

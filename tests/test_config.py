@@ -84,6 +84,29 @@ def test_photon_config_validation():
         PhotonConfig(bbv_dim=0)
 
 
+@pytest.mark.parametrize("field,value", [
+    ("min_sample_warps", 0),
+    ("warp_window", 1),
+    ("bb_retire_gate_fraction", 1.5),
+    ("bb_retire_gate_fraction", -0.1),
+    ("mean_delta", 0.0),
+    ("mean_delta", 1.0),
+    ("dominant_warp_rate", 1.5),
+    ("gpu_bbv_clusters", 0),
+    ("kernel_distance", -0.1),
+    ("rare_bb_min_samples", 0),
+])
+def test_photon_config_errors_name_the_field(field, value):
+    with pytest.raises(ConfigError, match=field):
+        PhotonConfig(**{field: value})
+
+
+def test_photon_config_boundary_values_accepted():
+    PhotonConfig(sample_fraction=1.0, bb_retire_gate_fraction=0.0,
+                 mean_delta=None, kernel_distance=0.0,
+                 min_sample_warps=1, rare_bb_min_samples=1)
+
+
 def test_with_levels():
     cfg = PhotonConfig().with_levels(kernel=True, warp=False, bb=False)
     assert cfg.enable_kernel_sampling

@@ -110,3 +110,114 @@ def test_empty_stores_roundtrip(tmp_path):
     db_path = tmp_path / "empty_db.json"
     save_kernel_db(KernelDB(0.1, 8), db_path)
     assert len(load_kernel_db(db_path)) == 0
+
+
+# -- format v2 hardening ------------------------------------------------------
+
+def test_saved_payload_carries_valid_checksum(populated, tmp_path):
+    from repro.core import payload_checksum
+
+    store, _ = populated
+    path = tmp_path / "store.json"
+    save_analysis_store(store, path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 2
+    assert payload["checksum"] == payload_checksum(payload)
+
+
+def test_checksum_is_order_independent():
+    from repro.core import payload_checksum
+
+    a = {"version": 2, "entries": [1, 2], "n": 3}
+    b = {"n": 3, "entries": [1, 2], "version": 2}
+    assert payload_checksum(a) == payload_checksum(b)
+
+
+def test_tampered_payload_rejected(populated, tmp_path):
+    store, _ = populated
+    path = tmp_path / "store.json"
+    save_analysis_store(store, path)
+    payload = json.loads(path.read_text())
+    payload["entries"][0]["n_warps"] += 1  # silent bit flip
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SamplingError, match="checksum"):
+        load_analysis_store(path)
+
+
+def test_corrupt_entry_quarantined_not_fatal(populated, tmp_path):
+    from repro.core import payload_checksum
+
+    store, _ = populated
+    path = tmp_path / "store.json"
+    save_analysis_store(store, path)
+    payload = json.loads(path.read_text())
+    del payload["entries"][0]["bb_share"]  # break one entry only
+    del payload["checksum"]
+    payload["checksum"] = payload_checksum(payload)
+    path.write_text(json.dumps(payload))
+    loaded = load_analysis_store(path)
+    assert loaded.quarantined == 1
+    assert len(loaded) == len(store) - 1  # the healthy entry survives
+
+
+def test_corrupt_db_record_quarantined(populated, tmp_path):
+    from repro.core import payload_checksum
+
+    _, db = populated
+    path = tmp_path / "db.json"
+    save_kernel_db(db, path)
+    payload = json.loads(path.read_text())
+    payload["records"][0]["sim_time"] = "not-a-number"
+    del payload["checksum"]
+    payload["checksum"] = payload_checksum(payload)
+    path.write_text(json.dumps(payload))
+    loaded = load_kernel_db(path)
+    assert loaded.quarantined == 1
+    assert len(loaded) == len(db) - 1
+
+
+def test_version1_files_still_load(populated, tmp_path):
+    """Backwards compatibility: v1 has no checksum and must not need one."""
+    store, _ = populated
+    path = tmp_path / "store.json"
+    save_analysis_store(store, path)
+    payload = json.loads(path.read_text())
+    payload["version"] = 1
+    del payload["checksum"]
+    path.write_text(json.dumps(payload))
+    loaded = load_analysis_store(path)
+    assert len(loaded) == len(store)
+
+
+def test_save_is_atomic_no_tmp_left_behind(populated, tmp_path):
+    store, db = populated
+    store_path = tmp_path / "store.json"
+    db_path = tmp_path / "db.json"
+    save_analysis_store(store, store_path)
+    save_kernel_db(db, db_path)
+    leftovers = [p.name for p in tmp_path.iterdir()
+                 if p.name.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_save_overwrites_existing_file(populated, tmp_path):
+    store, _ = populated
+    path = tmp_path / "store.json"
+    save_analysis_store(AnalysisStore(), path)
+    save_analysis_store(store, path)  # os.replace over the old file
+    assert len(load_analysis_store(path)) == len(store)
+
+
+def test_non_object_payload_rejected(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(SamplingError):
+        load_analysis_store(path)
+
+
+def test_kernel_db_public_records_accessor(populated):
+    _, db = populated
+    records = db.records()
+    assert len(records) == len(db)
+    records.clear()  # a copy: mutating it must not touch the db
+    assert len(db) > 0

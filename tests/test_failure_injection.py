@@ -3,25 +3,39 @@
 Every failure mode a downstream user can trigger — bad grids, runaway
 kernels, out-of-bounds traffic, corrupted persisted state, misbehaving
 listeners — must raise a typed ReproError (never a bare KeyError or a
-silent wrong answer).
+silent wrong answer).  The SimGuard section below injects deterministic
+faults with a FaultPlan and proves each edge of the degradation chain
+``bb → warp → kernel → full``.
 """
+
+import math
 
 import numpy as np
 import pytest
 
-from repro.core import Photon, PhotonConfig
+from repro.core import AnalysisStore, Photon, PhotonConfig
 from repro.errors import (
+    BudgetExceeded,
     ConfigError,
     ExecutionError,
+    InjectedFault,
     MemoryFault,
     ReproError,
+    SimulationStalled,
     WorkloadError,
 )
 from repro.functional import FunctionalExecutor, GlobalMemory, Kernel
+from repro.harness import run_methods_kernel
 from repro.isa import KernelBuilder, MemAddr, s, v
+from repro.reliability import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    WatchdogConfig,
+)
 from repro.timing import DetailedEngine, EngineListener
 
-from conftest import make_vecadd
+from conftest import make_loop_kernel, make_vecadd
 
 
 def test_all_errors_are_repro_errors():
@@ -136,3 +150,218 @@ def test_memory_arena_isolation():
     b = make_vecadd(n_warps=2)
     FunctionalExecutor(a).run_warp_full(0)
     assert not b.memory.view("z").any()  # untouched
+
+
+# ---------------------------------------------------------------------------
+# SimGuard: deterministic fault injection and graceful degradation
+# ---------------------------------------------------------------------------
+
+def _irregular_kernel():
+    """No dominant warp type: the BB detector wins the switch race."""
+    return make_loop_kernel(n_warps=500, trips_of=lambda w: 1 + w % 7)
+
+
+def _uniform_kernel():
+    """One warp type: the warp detector wins the switch race."""
+    return make_loop_kernel(n_warps=700, trips_of=lambda w: 6)
+
+
+def _edges(result):
+    return [(e.from_level, e.to_level) for e in result.errors]
+
+
+def test_bb_fault_degrades_to_warp(tiny_gpu, fast_photon_config):
+    plan = FaultPlan(FaultSpec(site="level.bb"))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+    result = photon.simulate_kernel(_irregular_kernel())
+    assert ("bb", "warp") in _edges(result)
+    assert result.degraded
+    assert result.sim_time > 0
+    assert ("level.bb", "InjectedFault", "loopy") in plan.fired
+
+
+def test_warp_fault_degrades_to_kernel(tiny_gpu, fast_photon_config):
+    plan = FaultPlan(FaultSpec(site="level.warp"))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+    result = photon.simulate_kernel(_uniform_kernel())
+    assert _edges(result) == [("warp", "kernel")]
+    assert result.sim_time > 0
+
+
+def test_kernel_fault_degrades_to_full(tiny_gpu, fast_photon_config):
+    # fire on the second pass through kernel-sampling: the first launch
+    # populates the KernelDB, the second would normally hit it
+    plan = FaultPlan(FaultSpec(site="level.kernel", at=2))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+    first = photon.simulate_kernel(make_vecadd(n_warps=32))
+    assert not first.degraded
+    second = photon.simulate_kernel(make_vecadd(n_warps=32))
+    assert _edges(second) == [("kernel", "full")]
+    assert second.mode == "full"
+    assert second.sim_time > 0
+
+
+def test_cascade_ends_in_full_detailed(tiny_gpu, fast_photon_config):
+    """Faults at every reachable level walk the whole chain to full."""
+    plan = FaultPlan(FaultSpec(site="level.warp"),
+                     FaultSpec(site="level.kernel", at=2))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+    result = photon.simulate_kernel(_uniform_kernel())
+    assert _edges(result) == [("warp", "kernel"), ("kernel", "full")]
+    assert result.mode == "full"
+    assert result.meta["degraded_attempts"] == 3
+    assert result.sim_time > 0
+
+
+def test_detector_misfire_is_recovered(tiny_gpu, fast_photon_config):
+    plan = FaultPlan(FaultSpec(site="detector.warp"))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+    result = photon.simulate_kernel(_uniform_kernel())
+    assert _edges(result) == [("warp", "kernel")]
+    assert plan.fired[0][0] == "detector.warp"
+
+
+def test_bb_detector_misfire_is_recovered(tiny_gpu, fast_photon_config):
+    plan = FaultPlan(FaultSpec(site="detector.bb"))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+    result = photon.simulate_kernel(_irregular_kernel())
+    assert ("bb", "warp") in _edges(result)
+
+
+def test_corrupted_store_entry_is_quarantined(tiny_gpu,
+                                              fast_photon_config):
+    store = AnalysisStore()
+    Photon(tiny_gpu, fast_photon_config,
+           analysis_store=store).simulate_kernel(make_vecadd(n_warps=16))
+    assert len(store) == 1 and store.quarantined == 0
+
+    plan = FaultPlan(FaultSpec(site="analysis.store"))
+    photon = Photon(tiny_gpu, fast_photon_config, analysis_store=store,
+                    fault_plan=plan)
+    result = photon.simulate_kernel(make_vecadd(n_warps=16))
+    assert store.quarantined == 1
+    assert ("store", "analysis") in _edges(result)
+    assert len(store) == 1  # re-analysed and re-cached
+    assert result.sim_time > 0
+
+
+def test_unrecoverable_fault_propagates(tiny_gpu, fast_photon_config):
+    """A BudgetExceeded inside a level is not ladder-recoverable."""
+    plan = FaultPlan(FaultSpec(site="level.warp", error=BudgetExceeded))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+    with pytest.raises(BudgetExceeded):
+        photon.simulate_kernel(_uniform_kernel())
+
+
+def test_executor_memory_fault_site():
+    plan = FaultPlan(FaultSpec(site="executor.memory"))
+    executor = FunctionalExecutor(make_vecadd(n_warps=2), fault_plan=plan)
+    with pytest.raises(InjectedFault):
+        executor.run_warp_full(0)
+
+
+# -- watchdog ----------------------------------------------------------------
+
+def _spin_kernel():
+    mem = GlobalMemory(64)
+    b = KernelBuilder("spin")
+    b.label("spin")
+    b.s_branch("spin")
+    b.s_endpgm()
+    return Kernel(program=b.build(), n_warps=1, wg_size=1, memory=mem,
+                  meta={"max_steps": 10**9})
+
+
+def test_infinite_kernel_raises_simulation_stalled():
+    """The satellite acceptance case: spin loop → typed error, no hang."""
+    wd = WatchdogConfig(stall_instructions=64)
+    executor = FunctionalExecutor(_spin_kernel(), watchdog=wd)
+    with pytest.raises(SimulationStalled):
+        executor.run_warp_control(0)
+    with pytest.raises(SimulationStalled):
+        FunctionalExecutor(_spin_kernel(), watchdog=wd).run_warp_full(0)
+
+
+def test_instruction_budget_raises_budget_exceeded():
+    wd = WatchdogConfig(max_instructions=50)
+    with pytest.raises(BudgetExceeded):
+        FunctionalExecutor(_spin_kernel(), watchdog=wd).run_warp_control(0)
+
+
+def test_engine_event_budget(tiny_gpu):
+    wd = WatchdogConfig(max_events=10)
+    with pytest.raises(BudgetExceeded):
+        DetailedEngine(make_vecadd(n_warps=16), tiny_gpu,
+                       watchdog=wd).run()
+
+
+def test_wall_deadline_trips(tiny_gpu):
+    wd = WatchdogConfig(deadline_seconds=1e-4, check_interval=1)
+    with pytest.raises(BudgetExceeded):
+        FunctionalExecutor(_spin_kernel(), watchdog=wd).run_warp_control(0)
+
+
+def test_watchdog_does_not_disturb_results(tiny_gpu, fast_photon_config):
+    """Generous budgets must leave the simulation bit-identical."""
+    baseline = Photon(tiny_gpu, fast_photon_config).simulate_kernel(
+        make_vecadd(n_warps=32))
+    wd = WatchdogConfig(max_events=10**9, max_instructions=10**9,
+                        stall_instructions=10**6)
+    guarded = Photon(tiny_gpu, fast_photon_config,
+                     watchdog=wd).simulate_kernel(make_vecadd(n_warps=32))
+    assert guarded.sim_time == baseline.sim_time
+    assert guarded.mode == baseline.mode
+
+
+def test_watchdog_trip_in_photon_propagates(tiny_gpu, fast_photon_config):
+    """Budget trips are not absorbed by the degradation ladder."""
+    wd = WatchdogConfig(max_events=10)
+    photon = Photon(tiny_gpu, fast_photon_config, watchdog=wd)
+    with pytest.raises(BudgetExceeded):
+        photon.simulate_kernel(make_vecadd(n_warps=32))
+
+
+# -- harness isolation -------------------------------------------------------
+
+def test_harness_isolates_failing_method(tiny_gpu, fast_photon_config):
+    plan = FaultPlan(FaultSpec(site="harness.method", kernel="pka"))
+    rows = run_methods_kernel(
+        lambda: make_vecadd(n_warps=16), "vecadd", 16, gpu=tiny_gpu,
+        methods=("pka", "photon"), photon_config=fast_photon_config,
+        fault_plan=plan)
+    assert [r.method for r in rows] == ["full", "pka", "photon"]
+    failed = rows[1]
+    assert failed.error_class == "InjectedFault" and not failed.ok
+    assert math.isnan(failed.error_pct) and math.isnan(failed.speedup)
+    assert rows[0].ok and rows[2].ok
+
+
+def test_harness_retry_recovers_transient_fault(tiny_gpu,
+                                                fast_photon_config):
+    plan = FaultPlan(FaultSpec(site="harness.method", kernel="photon",
+                               error=BudgetExceeded))
+    rows = run_methods_kernel(
+        lambda: make_vecadd(n_warps=16), "vecadd", 16, gpu=tiny_gpu,
+        methods=("photon",), photon_config=fast_photon_config,
+        fault_plan=plan, retry=RetryPolicy(max_attempts=2))
+    assert all(row.ok for row in rows)
+    assert len(plan.fired) == 1  # first attempt fired, retry passed
+
+
+def test_harness_full_baseline_failure_fails_all_rows(tiny_gpu,
+                                                      fast_photon_config):
+    rows = run_methods_kernel(
+        lambda: make_vecadd(n_warps=16), "vecadd", 16, gpu=tiny_gpu,
+        methods=("photon",), photon_config=fast_photon_config,
+        watchdog=WatchdogConfig(max_events=10))
+    assert [r.method for r in rows] == ["full", "photon"]
+    assert all(r.error_class == "BudgetExceeded" for r in rows)
+
+
+def test_harness_isolate_off_propagates(tiny_gpu, fast_photon_config):
+    plan = FaultPlan(FaultSpec(site="harness.method", kernel="photon"))
+    with pytest.raises(InjectedFault):
+        run_methods_kernel(
+            lambda: make_vecadd(n_warps=16), "vecadd", 16, gpu=tiny_gpu,
+            methods=("photon",), photon_config=fast_photon_config,
+            fault_plan=plan, isolate=False)

@@ -122,3 +122,56 @@ def test_series_table_renders():
                         x_label="t", y_label="ipc")
     assert text.startswith("# ipc")
     assert "4.00" in text
+
+
+def test_sweep_isolates_unbuildable_size(tiny_gpu, fast_photon_config):
+    """A size whose kernel cannot be built yields one failed 'build' row
+    and the remaining sizes still produce real data."""
+    from repro.harness import sweep_sizes
+
+    rows = sweep_sizes("relu", [0, 32], gpu=tiny_gpu,
+                       methods=("photon",),
+                       photon_config=fast_photon_config)
+    assert rows[0].method == "build" and not rows[0].ok
+    assert rows[0].error_class == "WorkloadError"
+    good = [r for r in rows if r.size == 32]
+    assert [r.method for r in good] == ["full", "photon"]
+    assert all(r.ok for r in good)
+
+
+def test_run_methods_app_isolates_failing_method(tiny_gpu,
+                                                 fast_photon_config):
+    from repro.reliability import FaultPlan, FaultSpec
+
+    def factory():
+        app = Application("twice")
+        app.launch(make_vecadd(n_warps=16))
+        return app
+
+    plan = FaultPlan(FaultSpec(site="harness.method", kernel="pka"))
+    out = run_methods_app(factory, "twice", gpu=tiny_gpu,
+                          methods=("photon", "pka"),
+                          photon_config=fast_photon_config,
+                          fault_plan=plan)
+    assert "photon" in out and "pka" not in out
+    by_method = {r.method: r for r in out["rows"]}
+    assert by_method["photon"].ok
+    assert by_method["pka"].error_class == "InjectedFault"
+
+
+def test_comparison_table_adds_status_column_on_failure(tiny_gpu,
+                                                        fast_photon_config):
+    from repro.reliability import FaultPlan, FaultSpec
+
+    plan = FaultPlan(FaultSpec(site="harness.method", kernel="pka"))
+    rows = run_methods_kernel(
+        lambda: make_vecadd(n_warps=16), "vecadd", 16, gpu=tiny_gpu,
+        methods=("pka", "photon"), photon_config=fast_photon_config,
+        fault_plan=plan)
+    text = comparison_table(rows)
+    assert "status" in text and "InjectedFault" in text and "ok" in text
+    # successful sweeps keep the original column set
+    clean = run_methods_kernel(
+        lambda: make_vecadd(n_warps=16), "vecadd", 16, gpu=tiny_gpu,
+        methods=("photon",), photon_config=fast_photon_config)
+    assert "status" not in comparison_table(clean)
