@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Benchmark the ParSweep engine: serial vs parallel wall time.
+
+Runs the demo sweep (relu/fir/sc/spmv at the quick sizes, methods
+pka + photon) once inline and once with ``--jobs N`` workers, checks
+the determinism contract (both runs must render byte-identical
+deterministic comparison tables), and writes ``BENCH_sweep.json`` with
+the speedup and per-task telemetry.
+
+    PYTHONPATH=src python scripts/bench_sweep.py --jobs 4
+    PYTHONPATH=src python scripts/bench_sweep.py --smoke   # tiny, for CI
+
+Wall-clock speedup requires actual hardware concurrency: on a
+single-core machine the parallel run cannot beat the serial one (the
+same CPU work is just interleaved), so the record carries ``cpu_count``
+and a ``cores_limited`` flag that readers must consult before judging
+the speedup number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.harness.tables import comparison_table
+from repro.parallel import plan_sweep, run_sweep
+
+DEMO_WORKLOADS = ("relu", "fir", "sc", "spmv")
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count (default 4)")
+    parser.add_argument("--out", default="BENCH_sweep.json",
+                        help="output JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes and 2 jobs (CI smoke run)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if speedup falls below this")
+    args = parser.parse_args(argv)
+
+    jobs = 2 if args.smoke else args.jobs
+    sizes = (256,) if args.smoke else None  # None = quick sizes
+    cores = _available_cores()
+    tasks = plan_sweep(DEMO_WORKLOADS, sizes=sizes,
+                       methods=("pka", "photon"))
+    print(f"demo sweep: {len(tasks)} tasks "
+          f"({len(tasks) // 3} cells x [full, pka, photon])")
+    if cores < 2:
+        print(f"note: only {cores} CPU core(s) available — wall-clock "
+              f"speedup cannot exceed 1x on this machine; the recorded "
+              f"number measures scheduling overhead, not the engine")
+
+    t0 = time.perf_counter()
+    serial = run_sweep(tasks, jobs=1)
+    serial_wall = time.perf_counter() - t0
+    print(f"serial:   {serial_wall:.2f}s")
+
+    t0 = time.perf_counter()
+    parallel = run_sweep(tasks, jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    print(f"parallel: {parallel_wall:.2f}s with --jobs {jobs} "
+          f"-> {speedup:.2f}x speedup, "
+          f"utilization {parallel.report.utilization() * 100.0:.0f}%")
+
+    serial_table = comparison_table(serial.rows, deterministic=True)
+    parallel_table = comparison_table(parallel.rows, deterministic=True)
+    deterministic = serial_table == parallel_table
+    print(f"determinism: serial and parallel tables "
+          f"{'MATCH' if deterministic else 'DIFFER'}")
+
+    record = {
+        "jobs": jobs,
+        "n_tasks": len(tasks),
+        "cpu_count": cores,
+        "cores_limited": cores < jobs,
+        "serial_wall": serial_wall,
+        "parallel_wall": parallel_wall,
+        "speedup": speedup,
+        "deterministic": deterministic,
+        "serial_telemetry": serial.report.to_dict(),
+        "parallel_telemetry": parallel.report.to_dict(),
+        "table": parallel_table,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if not deterministic:
+        print("FAIL: determinism contract violated", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        if cores < jobs:
+            print(f"skip speedup gate: {cores} core(s) < {jobs} jobs, "
+                  f"target {args.min_speedup:.2f}x not reachable here",
+                  file=sys.stderr)
+        else:
+            print(f"FAIL: speedup {speedup:.2f}x < required "
+                  f"{args.min_speedup:.2f}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

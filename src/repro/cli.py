@@ -7,25 +7,33 @@ scripts:
     python -m repro run spmv --size 4096 --gpu mi100
     python -m repro app vgg16 --methods photon
     python -m repro app resnet50
+    python -m repro sweep relu fir --sizes 2048 4096 --jobs 4
+    python -m repro sweep relu --jobs 4 --shard 0/2 --json results.json
     python -m repro list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from .config.gpu_configs import preset
-from .errors import ReproError
-from .harness.defaults import EVAL_MI100, EVAL_PHOTON, EVAL_R9NANO
+from .errors import ConfigError, ReproError, WorkloadError
+from .harness.defaults import (
+    EVAL_PHOTON,
+    GPU_PRESET_NAMES,
+    resolve_gpu,
+)
 from .harness.runner import (
     LEVEL_METHODS,
+    all_methods,
     run_methods_app,
     run_methods_kernel,
     workload_factory,
 )
 from .harness.tables import comparison_table
+from .parallel import plan_sweep, run_sweep
 from .reliability.watchdog import WatchdogConfig
 from .workloads import REGISTRY, build_pagerank, build_resnet, build_vgg
 
@@ -45,13 +53,28 @@ _ALL_METHODS = sorted(LEVEL_METHODS) + ["pka", "sieve", "gtpin",
                                         "tbpoint"]
 
 
-def _gpu_for(name: str):
-    if name == "r9nano":
-        return EVAL_R9NANO
-    if name == "mi100":
-        return EVAL_MI100
-    # full-size Table 1 presets on request
-    return preset(name.removeprefix("full-"))
+def _validate_methods(methods: List[str]) -> None:
+    """Fail fast with a one-line error naming the first bad method.
+
+    Runs before any simulation work, so a typo in ``--methods`` costs
+    nothing instead of surfacing minutes into a sweep.
+    """
+    known = set(all_methods())
+    for method in methods:
+        if method not in known:
+            raise WorkloadError(
+                f"unknown method {method!r}; choose from "
+                f"{', '.join(all_methods())}")
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``I/N`` shard notation (e.g. ``0/4``)."""
+    try:
+        index_text, count_text = text.split("/")
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise ConfigError(
+            f"--shard must be I/N (e.g. 0/4), got {text!r}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +101,35 @@ def build_parser() -> argparse.ArgumentParser:
     app.add_argument("--methods", nargs="+", default=["photon"],
                      choices=_ALL_METHODS)
     _add_watchdog_flags(app)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel sweep over workloads x sizes x methods")
+    sweep.add_argument("workloads", nargs="+",
+                       help="single-kernel workload names")
+    sweep.add_argument("--sizes", nargs="+", type=int, default=None,
+                       help="problem sizes in warps (default: the "
+                            "per-workload quick sizes)")
+    sweep.add_argument("--methods", nargs="+",
+                       default=["pka", "photon"],
+                       help="sampled methods to compare against full")
+    sweep.add_argument("--gpu", default="r9nano",
+                       choices=list(GPU_PRESET_NAMES))
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="workload data seed (default: per-workload)")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (1 = run inline)")
+    sweep.add_argument("--shard", default="0/1", metavar="I/N",
+                       help="run only cell shard I of N (default 0/1)")
+    sweep.add_argument("--json", default=None, metavar="PATH",
+                       dest="json_out",
+                       help="write rows + telemetry as JSON "
+                            "('-' for stdout)")
+    sweep.add_argument("--sweep-deadline", type=float, default=None,
+                       metavar="S",
+                       help="split S wall-clock seconds into per-task "
+                            "watchdog deadlines")
+    _add_watchdog_flags(sweep)
 
     sub.add_parser("list", help="list workloads, apps and methods")
     return parser
@@ -118,8 +170,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
-    gpu = _gpu_for(args.gpu)
+    _validate_methods(args.methods)
     watchdog = _watchdog_from(args)
+    if args.command == "sweep":
+        return _run_sweep(args, watchdog)
+    gpu = resolve_gpu(args.gpu)
     if args.command == "run":
         rows = run_methods_kernel(
             workload_factory(args.workload, args.size),
@@ -136,6 +191,29 @@ def _run(args: argparse.Namespace) -> int:
     for method in args.methods:
         if method in out:
             print(f"{method} modes: {out[method].mode_counts()}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace,
+               watchdog: Optional[WatchdogConfig]) -> int:
+    tasks = plan_sweep(
+        args.workloads, sizes=args.sizes,
+        methods=tuple(args.methods), gpu=args.gpu, seed=args.seed,
+        photon_config=EVAL_PHOTON, watchdog=watchdog,
+        shard=_parse_shard(args.shard))
+    result = run_sweep(tasks, jobs=args.jobs,
+                       sweep_deadline=args.sweep_deadline)
+    if args.json_out != "-":
+        print(comparison_table(result.rows))
+        print()
+        print(result.report.summary())
+    if args.json_out is not None:
+        payload = json.dumps(result.to_dict(), indent=2, allow_nan=False)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(payload + "\n")
     return 0
 
 

@@ -42,8 +42,10 @@ from __future__ import annotations
 import time as _time
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..config.gpu_configs import GpuConfig
-from ..errors import SamplingError, TimingError
+from ..errors import ConfigError, SamplingError, TimingError
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Application, Kernel
 from ..reliability.faults import FaultPlan
@@ -57,7 +59,7 @@ from .bbv import BBVProjector
 from .config import PhotonConfig
 from .detectors import BBSamplingDetector, WarpSamplingDetector
 from .interval import IntervalModel
-from .kerneldb import KernelDB, KernelRecord
+from .kerneldb import KernelDB, KernelRecord, MergeStats
 from .online import OnlineAnalysis, analyze_kernel
 
 StoreKey = Tuple[int, int, int]
@@ -105,8 +107,71 @@ class AnalysisStore:
             return True
         return False
 
+    def merge(self, other: "AnalysisStore",
+              on_conflict: str = "keep") -> MergeStats:
+        """Fold ``other``'s entries into this store, deterministically.
+
+        Online analyses are deterministic functions of (program, grid,
+        Photon config), so two workers that analysed the same kernel
+        should hold byte-identical entries — those count as
+        ``duplicates`` and are skipped.  A same-key entry with
+        *different* content is a ``conflict``; resolution follows
+        ``on_conflict``:
+
+        * ``"keep"`` (default) — the existing entry wins.  Merging in
+          task order makes the result independent of worker scheduling.
+        * ``"replace"`` — the incoming entry wins.
+        * ``"error"`` — raise :class:`SamplingError` (strict mode for
+          determinism audits).
+
+        ``other``'s quarantine count is carried over; hit/miss counters
+        are left untouched (they describe this store's own traffic).
+        """
+        if on_conflict not in ("keep", "replace", "error"):
+            raise ConfigError(
+                f"on_conflict must be 'keep', 'replace' or 'error', "
+                f"got {on_conflict!r}")
+        stats = MergeStats()
+        for key, analysis in other.items():
+            existing = self._entries.get(key)
+            if existing is None:
+                self._entries[key] = analysis
+                stats.added += 1
+            elif _analyses_equal(existing, analysis):
+                stats.duplicates += 1
+            else:
+                stats.conflicts += 1
+                if on_conflict == "error":
+                    raise SamplingError(
+                        f"analysis-store merge conflict for key {key}: "
+                        f"entries differ for kernel "
+                        f"{analysis.kernel_name!r}")
+                if on_conflict == "replace":
+                    self._entries[key] = analysis
+        self.quarantined += other.quarantined
+        return stats
+
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def _analyses_equal(a: OnlineAnalysis, b: OnlineAnalysis) -> bool:
+    """Full-content equality of two online analyses (numpy-aware)."""
+    if a is b:
+        return True
+    return (a.kernel_name == b.kernel_name
+            and a.n_warps == b.n_warps
+            and list(a.sample_warp_ids) == list(b.sample_warp_ids)
+            and a.sample_insts == b.sample_insts
+            and a.mean_insts_per_warp == b.mean_insts_per_warp
+            and a.bb_share == b.bb_share
+            and a.type_counts == b.type_counts
+            and {k: tuple(v) for k, v in a.type_bb_seq.items()}
+            == {k: tuple(v) for k, v in b.type_bb_seq.items()}
+            and a.type_insts == b.type_insts
+            and a.dominant_type == b.dominant_type
+            and a.dominant_rate == b.dominant_rate
+            and np.array_equal(a.gpu_bbv, b.gpu_bbv))
 
 
 class Photon:
@@ -127,12 +192,27 @@ class Photon:
         analysis_store: Optional[AnalysisStore] = None,
         watchdog: Optional[WatchdogConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        kernel_db: Optional[KernelDB] = None,
     ):
         self.gpu_config = gpu_config
         self.config = config or PhotonConfig()
         self.projector = BBVProjector(self.config.bbv_dim)
-        self.kernel_db = KernelDB(self.config.kernel_distance,
-                                  gpu_config.n_cu)
+        if kernel_db is not None:
+            # injected warm database (offline reuse / parallel sweeps);
+            # must match this simulator's matching parameters or the
+            # similarity queries would be answered under foreign rules
+            if (kernel_db.distance_threshold != self.config.kernel_distance
+                    or kernel_db.n_cu != gpu_config.n_cu):
+                raise ConfigError(
+                    f"kernel_db parameters (threshold="
+                    f"{kernel_db.distance_threshold}, n_cu="
+                    f"{kernel_db.n_cu}) do not match the configuration "
+                    f"(threshold={self.config.kernel_distance}, "
+                    f"n_cu={gpu_config.n_cu})")
+            self.kernel_db = kernel_db
+        else:
+            self.kernel_db = KernelDB(self.config.kernel_distance,
+                                      gpu_config.n_cu)
         self.interval_model = IntervalModel(gpu_config)
         self.hierarchy = MemoryHierarchy(gpu_config)
         self.analysis_store = analysis_store

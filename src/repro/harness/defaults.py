@@ -14,12 +14,31 @@ paper's reported 6.83% average.
 
 from __future__ import annotations
 
-from ..config.gpu_configs import GpuConfig, MI100, R9_NANO
+from ..config.gpu_configs import GpuConfig, MI100, R9_NANO, preset
 from ..core.config import PhotonConfig
 
 # scaled evaluation GPUs (Table 1 microarchitectures, 8 / 15 CUs)
 EVAL_R9NANO: GpuConfig = R9_NANO.scaled(8)
 EVAL_MI100: GpuConfig = MI100.scaled(16)
+
+#: GPU preset names accepted everywhere a configuration is named by
+#: string (CLI flags, serialized sweep tasks)
+GPU_PRESET_NAMES = ("r9nano", "mi100", "full-r9nano", "full-mi100")
+
+
+def resolve_gpu(name: str) -> GpuConfig:
+    """Resolve a preset name to a configuration.
+
+    ``r9nano`` / ``mi100`` are the scaled evaluation GPUs; the
+    ``full-`` prefix selects the unscaled Table 1 presets.  Sweep tasks
+    carry the *name* across process boundaries and resolve it in the
+    worker, so configurations never need to be pickled.
+    """
+    if name == "r9nano":
+        return EVAL_R9NANO
+    if name == "mi100":
+        return EVAL_MI100
+    return preset(name.removeprefix("full-"))
 
 # Photon configuration used throughout the benchmarks
 EVAL_PHOTON = PhotonConfig(

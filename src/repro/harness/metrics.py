@@ -9,11 +9,23 @@ The paper validates *kernel execution time* (not IPC) because it is
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..errors import ReproError, SamplingError
 from ..timing.simulator import AppResult, KernelResult
+
+
+def _json_num(value: float) -> "float | None":
+    """NaN → None so rows serialise as *valid* JSON (NaN is not JSON)."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def _from_json_num(value: "float | None") -> float:
+    return float("nan") if value is None else float(value)
 
 
 def sim_time_error(full_time: float, sampled_time: float) -> float:
@@ -69,12 +81,57 @@ class Comparison:
             return float("nan")
         return wall_speedup(self.full_wall, self.sampled_wall)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (NaN encoded as ``null``); inverse of
+        :meth:`from_dict`.  Includes the derived ``error_pct`` and
+        ``speedup`` for consumers that only read the JSON."""
+        return {
+            "workload": self.workload,
+            "size": self.size,
+            "method": self.method,
+            "full_time": _json_num(self.full_time),
+            "sampled_time": _json_num(self.sampled_time),
+            "full_wall": _json_num(self.full_wall),
+            "sampled_wall": _json_num(self.sampled_wall),
+            "mode": self.mode,
+            "detail_fraction": self.detail_fraction,
+            "error": self.error,
+            "error_class": self.error_class,
+            "fallbacks": self.fallbacks,
+            # derived, for JSON consumers; ignored by from_dict
+            "error_pct": _json_num(self.error_pct),
+            "speedup": _json_num(self.speedup),
+        }
 
-def failed_comparison(workload: str, size: int, method: str,
-                      exc: ReproError,
-                      full: "KernelResult | AppResult | None" = None,
-                      ) -> Comparison:
-    """A row recording that ``method`` failed instead of producing data."""
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Comparison":
+        """Rebuild a row from :meth:`to_dict` output (``null`` → NaN)."""
+        return cls(
+            workload=str(data["workload"]),
+            size=int(data["size"]),
+            method=str(data["method"]),
+            full_time=_from_json_num(data["full_time"]),
+            sampled_time=_from_json_num(data["sampled_time"]),
+            full_wall=_from_json_num(data["full_wall"]),
+            sampled_wall=_from_json_num(data["sampled_wall"]),
+            mode=str(data.get("mode", "")),
+            detail_fraction=float(data.get("detail_fraction", 1.0)),
+            error=str(data.get("error", "")),
+            error_class=str(data.get("error_class", "")),
+            fallbacks=int(data.get("fallbacks", 0)),
+        )
+
+
+def failed_row(workload: str, size: int, method: str,
+               error_class: str, message: str,
+               full: "KernelResult | AppResult | None" = None,
+               ) -> Comparison:
+    """A failed row built from an error's (class name, message) pair.
+
+    Used directly when the failure crossed a process boundary and only
+    its serialized form survives; :func:`failed_comparison` is the
+    in-process convenience wrapper.
+    """
     return Comparison(
         workload=workload,
         size=size,
@@ -85,9 +142,18 @@ def failed_comparison(workload: str, size: int, method: str,
         sampled_wall=float("nan"),
         mode="error",
         detail_fraction=0.0,
-        error=str(exc),
-        error_class=type(exc).__name__,
+        error=message,
+        error_class=error_class,
     )
+
+
+def failed_comparison(workload: str, size: int, method: str,
+                      exc: ReproError,
+                      full: "KernelResult | AppResult | None" = None,
+                      ) -> Comparison:
+    """A row recording that ``method`` failed instead of producing data."""
+    return failed_row(workload, size, method, type(exc).__name__,
+                      str(exc), full=full)
 
 
 def compare_kernels(workload: str, size: int, method: str,

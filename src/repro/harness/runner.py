@@ -23,6 +23,7 @@ from ..baselines.tbpoint import TBPoint
 from ..baselines.pka import PKA, PkaConfig
 from ..config.gpu_configs import GpuConfig
 from ..core.config import PhotonConfig
+from ..core.kerneldb import KernelDB
 from ..core.photon import AnalysisStore, Photon
 from ..errors import ReproError, WorkloadError
 from ..functional.kernel import Application, Kernel
@@ -108,7 +109,7 @@ def run_methods_kernel(
     )]
     for method in methods:
         try:
-            sampled = retry.run(lambda: _run_one_kernel(
+            sampled = retry.run(lambda: simulate_method(
                 factory(), method, gpu, photon_config, pka_config,
                 watchdog, fault_plan))
         except ReproError as exc:
@@ -157,7 +158,7 @@ def run_methods_app(
     out["full"] = full
     for method in methods:
         try:
-            sampled = retry.run(lambda: _run_one_app(
+            sampled = retry.run(lambda: simulate_app_method(
                 factory(), method, gpu, photon_config, pka_config,
                 watchdog, fault_plan))
         except ReproError as exc:
@@ -171,36 +172,53 @@ def run_methods_app(
     return out
 
 
+def all_methods() -> List[str]:
+    """Every known method name (baselines + level ablations), sorted."""
+    return sorted(_BASELINES) + sorted(LEVEL_METHODS)
+
+
 def _check_methods(methods: Sequence[str]) -> None:
     """Reject unknown method names up front (typos must not be isolated)."""
     for method in methods:
         if method not in _BASELINES and method not in LEVEL_METHODS:
             raise WorkloadError(
-                f"unknown method {method!r}; choose from "
-                f"{sorted(_BASELINES) + sorted(LEVEL_METHODS)}")
+                f"unknown method {method!r}; choose from {all_methods()}")
 
 
 def _photon_for(method: str, gpu: GpuConfig, config: PhotonConfig,
                 watchdog: Optional[WatchdogConfig],
-                fault_plan: Optional[FaultPlan]) -> Photon:
+                fault_plan: Optional[FaultPlan],
+                analysis_store: Optional[AnalysisStore] = None,
+                kernel_db: Optional[KernelDB] = None) -> Photon:
     levels = LEVEL_METHODS.get(method)
     if levels is None:
         raise WorkloadError(
-            f"unknown method {method!r}; choose from "
-            f"{sorted(_BASELINES) + sorted(LEVEL_METHODS)}")
+            f"unknown method {method!r}; choose from {all_methods()}")
     return Photon(gpu, config.with_levels(**levels), watchdog=watchdog,
-                  fault_plan=fault_plan)
+                  fault_plan=fault_plan, analysis_store=analysis_store,
+                  kernel_db=kernel_db)
 
 
 _BASELINES = {"pka": PKA, "sieve": Sieve, "gtpin": GTPin,
               "tbpoint": TBPoint}
 
 
-def _run_one_kernel(kernel: Kernel, method: str, gpu: GpuConfig,
+def simulate_method(kernel: Kernel, method: str, gpu: GpuConfig,
                     photon_config: PhotonConfig,
-                    pka_config: Optional[PkaConfig],
+                    pka_config: Optional[PkaConfig] = None,
                     watchdog: Optional[WatchdogConfig] = None,
-                    fault_plan: Optional[FaultPlan] = None) -> KernelResult:
+                    fault_plan: Optional[FaultPlan] = None,
+                    analysis_store: Optional[AnalysisStore] = None,
+                    kernel_db: Optional[KernelDB] = None) -> KernelResult:
+    """Simulate one kernel under one named method — the pure cell task.
+
+    This is the unit of work both the serial harness and the parallel
+    sweep engine execute: everything it needs arrives as arguments,
+    nothing is read from or written to shared state.  ``analysis_store``
+    and ``kernel_db`` apply to Photon-family methods only; a parallel
+    worker passes fresh instances and ships their contents back for the
+    deterministic merge.
+    """
     if fault_plan is not None:
         fault_plan.arm("harness.method", kernel=method)
     if method == "pka":
@@ -208,15 +226,18 @@ def _run_one_kernel(kernel: Kernel, method: str, gpu: GpuConfig,
     if method in _BASELINES:
         return _BASELINES[method](gpu).simulate_kernel(kernel)
     simulator = _photon_for(method, gpu, photon_config, watchdog,
-                            fault_plan)
+                            fault_plan, analysis_store, kernel_db)
     return simulator.simulate_kernel(kernel)
 
 
-def _run_one_app(app: Application, method: str, gpu: GpuConfig,
-                 photon_config: PhotonConfig,
-                 pka_config: Optional[PkaConfig],
-                 watchdog: Optional[WatchdogConfig] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> AppResult:
+def simulate_app_method(app: Application, method: str, gpu: GpuConfig,
+                        photon_config: PhotonConfig,
+                        pka_config: Optional[PkaConfig] = None,
+                        watchdog: Optional[WatchdogConfig] = None,
+                        fault_plan: Optional[FaultPlan] = None,
+                        analysis_store: Optional[AnalysisStore] = None,
+                        kernel_db: Optional[KernelDB] = None) -> AppResult:
+    """Application counterpart of :func:`simulate_method`."""
     if fault_plan is not None:
         fault_plan.arm("harness.method", kernel=method)
     if method == "pka":
@@ -224,7 +245,7 @@ def _run_one_app(app: Application, method: str, gpu: GpuConfig,
     if method in _BASELINES:
         return _BASELINES[method](gpu).simulate_app(app, method_name=method)
     simulator = _photon_for(method, gpu, photon_config, watchdog,
-                            fault_plan)
+                            fault_plan, analysis_store, kernel_db)
     return simulator.simulate_app(app, method_name=method)
 
 

@@ -33,15 +33,25 @@ def _cell(x: object) -> str:
     return str(x)
 
 
-def comparison_table(rows: Iterable[Comparison]) -> str:
+def comparison_table(rows: Iterable[Comparison],
+                     deterministic: bool = False) -> str:
     """Standard error/speedup table for a set of comparison rows.
 
     When any row records a failure, an extra ``status`` column names the
     exception class so the cause survives into the rendered table.
+
+    With ``deterministic=True`` the host-wall-clock columns (``wall_s``,
+    ``speedup``) are dropped: every remaining column is a pure function
+    of (workload, seed, configuration), so two runs of the same sweep —
+    serial or parallel, any worker count — must render byte-identical
+    tables.  This is the determinism contract the parallel engine is
+    tested against (see ``docs/parallel.md``).
     """
     rows = list(rows)
     headers = ["workload", "size", "method", "sim_time", "err_%",
                "wall_s", "speedup", "mode", "detail_frac"]
+    if deterministic:
+        headers = [h for h in headers if h not in ("wall_s", "speedup")]
     with_status = any(not row.ok for row in rows)
     if with_status:
         headers.append("status")
@@ -53,6 +63,8 @@ def comparison_table(rows: Iterable[Comparison]) -> str:
             row.sampled_wall, row.speedup, row.mode,
             row.detail_fraction,
         ]
+        if deterministic:
+            del cells[5:7]  # sampled_wall, speedup
         if with_status:
             cells.append(row.error_class or "ok")
         body.append(cells)

@@ -1,0 +1,47 @@
+"""ParSweep: the parallel evaluation subsystem.
+
+Reproducing the paper's figures is embarrassingly parallel work — every
+(workload × size × method) cell is independent — yet the serial harness
+runs them one at a time.  This package decomposes an evaluation into
+self-contained :class:`SweepTask` shards, schedules them over
+``multiprocessing`` workers with a bounded work queue and per-task
+watchdog budgets, transports results back as serializable payloads,
+deterministically merges per-worker ``AnalysisStore``/``KernelDB``
+state, and reports structured run telemetry.
+
+Parallelism is a pure speed knob: serial and parallel runs of the same
+plan produce identical simulated results (see ``docs/parallel.md`` for
+the determinism contract and the task model).
+
+Typical use::
+
+    from repro.parallel import plan_sweep, run_sweep
+
+    tasks = plan_sweep(["relu", "fir"], sizes=(2048,),
+                       methods=("pka", "photon"))
+    result = run_sweep(tasks, jobs=4)
+    print(comparison_table(result.rows))
+    print(result.report.summary())
+"""
+
+from .scheduler import (
+    SweepResult,
+    plan_sweep,
+    rows_from_outcomes,
+    run_sweep,
+)
+from .tasks import FULL_METHOD, SweepTask, TaskOutcome, run_task
+from .telemetry import RunReport, TaskTelemetry
+
+__all__ = [
+    "FULL_METHOD",
+    "RunReport",
+    "SweepResult",
+    "SweepTask",
+    "TaskOutcome",
+    "TaskTelemetry",
+    "plan_sweep",
+    "rows_from_outcomes",
+    "run_sweep",
+    "run_task",
+]

@@ -1,0 +1,356 @@
+"""ParSweep scheduler: plan, execute, and merge evaluation sweeps.
+
+:func:`plan_sweep` decomposes an evaluation (workloads × sizes ×
+methods) into an ordered list of :class:`~repro.parallel.tasks.SweepTask`
+shards — each cell contributes one ``full`` baseline task followed by
+one task per sampled method.  :func:`run_sweep` executes a plan either
+inline (``jobs=1``) or over a ``multiprocessing`` pool with a bounded
+submission window, then:
+
+* reassembles :class:`~repro.harness.metrics.Comparison` rows in plan
+  order, reproducing the serial harness's row semantics exactly
+  (including ``build`` rows and failure isolation);
+* deterministically merges every worker's ``AnalysisStore`` /
+  ``KernelDB`` contents in task order, so the reusable warm-analysis
+  state survives sharding regardless of worker scheduling;
+* emits a :class:`~repro.parallel.telemetry.RunReport`.
+
+Determinism contract: all simulated quantities in the produced rows
+are pure functions of (workload, seed, configuration).  Serial and
+parallel runs of the same plan therefore render byte-identical tables
+under ``comparison_table(rows, deterministic=True)``; host wall times
+(and hence speedups) are the only fields allowed to differ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time as _time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..baselines.pka import PkaConfig
+from ..core.config import PhotonConfig
+from ..core.kerneldb import KernelDB, MergeStats
+from ..core.persist import (
+    analysis_store_from_payload,
+    kernel_db_from_payload,
+)
+from ..core.photon import AnalysisStore
+from ..errors import ConfigError, SamplingError, WorkloadError
+from ..harness.defaults import EVAL_PHOTON, QUICK_SIZES
+from ..harness.metrics import Comparison, compare_kernels, failed_row
+from ..harness.runner import _check_methods
+from ..reliability.retry import NO_RETRY, RetryPolicy
+from ..reliability.watchdog import WatchdogConfig
+from ..workloads.base import REGISTRY
+from .tasks import FULL_METHOD, SweepTask, TaskOutcome, run_task
+from .telemetry import RunReport, TaskTelemetry
+
+SizesSpec = Union[None, Sequence[int], Mapping[str, Sequence[int]]]
+
+
+def _sizes_for(workload: str, sizes: SizesSpec) -> Tuple[int, ...]:
+    if sizes is None:
+        try:
+            return tuple(QUICK_SIZES[workload])
+        except KeyError:
+            raise WorkloadError(
+                f"no default sizes for workload {workload!r}; "
+                f"pass sizes explicitly") from None
+    if isinstance(sizes, Mapping):
+        try:
+            return tuple(int(s) for s in sizes[workload])
+        except KeyError:
+            raise WorkloadError(
+                f"sizes mapping has no entry for workload "
+                f"{workload!r}") from None
+    return tuple(int(s) for s in sizes)
+
+
+def plan_sweep(
+    workloads: Sequence[str],
+    sizes: SizesSpec = None,
+    methods: Sequence[str] = ("pka", "photon"),
+    gpu: str = "r9nano",
+    seed: Optional[int] = None,
+    photon_config: Optional[PhotonConfig] = None,
+    pka_config: Optional[PkaConfig] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    shard: Tuple[int, int] = (0, 1),
+) -> List[SweepTask]:
+    """Decompose an evaluation into an ordered, sharded task list.
+
+    Sharding partitions by *cell* (workload, size), never by method, so
+    every shard is self-contained: a cell's baseline and its sampled
+    methods always land in the same shard.  Shard ``(i, n)`` takes the
+    cells whose enumeration index is ``i`` modulo ``n``; the union of
+    all shards is exactly the unsharded plan.
+
+    Workload and method names are validated here, up front — a typo
+    fails the whole plan with a one-line error instead of surfacing
+    mid-sweep from inside a worker.
+    """
+    methods = tuple(methods)
+    _check_methods(methods)
+    for workload in workloads:
+        if workload not in REGISTRY:
+            raise WorkloadError(
+                f"unknown workload {workload!r}; "
+                f"registered: {sorted(REGISTRY)}")
+    shard_index, shard_count = shard
+    if shard_count < 1 or not 0 <= shard_index < shard_count:
+        raise ConfigError(
+            f"shard must be (i, n) with 0 <= i < n, got {shard!r}")
+    photon_config = photon_config or EVAL_PHOTON
+    retry = retry or NO_RETRY
+    tasks: List[SweepTask] = []
+    cell_id = 0
+    for workload in workloads:
+        for size in _sizes_for(workload, sizes):
+            if cell_id % shard_count == shard_index:
+                for method in (FULL_METHOD, *methods):
+                    tasks.append(SweepTask(
+                        index=len(tasks), workload=workload, size=size,
+                        method=method, gpu=gpu, seed=seed,
+                        photon=photon_config, pka=pka_config,
+                        watchdog=watchdog, retry=retry))
+            cell_id += 1
+    return tasks
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep run produced."""
+
+    rows: List[Comparison]
+    outcomes: List[TaskOutcome]
+    store: AnalysisStore          # merged warm-analysis state
+    kernel_db: Optional[KernelDB]  # merged kernel records (None if none)
+    report: RunReport
+    store_merge: MergeStats = field(default_factory=MergeStats)
+    db_merge: MergeStats = field(default_factory=MergeStats)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe run record: rows + telemetry + merge statistics.
+
+        Store *contents* are deliberately not embedded — persist them
+        with :func:`repro.core.persist.save_analysis_store` instead.
+        """
+        return {
+            "rows": [row.to_dict() for row in self.rows],
+            "telemetry": self.report.to_dict(),
+            "store_merge": self.store_merge.to_dict(),
+            "db_merge": self.db_merge.to_dict(),
+            "store_entries": len(self.store),
+            "kernel_records": (len(self.kernel_db)
+                               if self.kernel_db is not None else 0),
+        }
+
+
+def rows_from_outcomes(outcomes: Sequence[TaskOutcome]) -> List[Comparison]:
+    """Reassemble comparison rows from task outcomes, in plan order.
+
+    Reproduces the serial harness's semantics cell by cell:
+
+    * baseline build failure → a single ``build`` row for the cell;
+    * baseline run failure → failed rows for ``full`` and every method
+      (their own outcomes are discarded, as the serial path never runs
+      them);
+    * method failure → a failed row carrying the baseline's times;
+    * otherwise → the same rows :func:`~repro.harness.metrics.compare_kernels`
+      builds serially.
+    """
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    rows: List[Comparison] = []
+    i, n = 0, len(ordered)
+    while i < n:
+        full = ordered[i]
+        if full.method != FULL_METHOD:
+            raise SamplingError(
+                f"malformed sweep plan: task {full.index} "
+                f"({full.workload}/{full.size}/{full.method}) starts a "
+                f"cell but is not a {FULL_METHOD!r} baseline")
+        j = i + 1
+        while j < n and ordered[j].method != FULL_METHOD:
+            j += 1
+        rows.extend(_cell_rows(full, ordered[i + 1:j]))
+        i = j
+    return rows
+
+
+def _cell_rows(full: TaskOutcome,
+               cell: Sequence[TaskOutcome]) -> List[Comparison]:
+    workload, size = full.workload, full.size
+    if not full.ok and full.stage == "build":
+        return [failed_row(workload, size, "build",
+                           full.error_class, full.error)]
+    if not full.ok:
+        return [failed_row(workload, size, method,
+                           full.error_class, full.error)
+                for method in (FULL_METHOD,
+                               *(o.method for o in cell))]
+    baseline = full.to_kernel_result()
+    rows = [Comparison(
+        workload=workload, size=size, method=FULL_METHOD,
+        full_time=baseline.sim_time, sampled_time=baseline.sim_time,
+        full_wall=baseline.wall_seconds,
+        sampled_wall=baseline.wall_seconds,
+        mode="full", detail_fraction=1.0,
+    )]
+    for outcome in cell:
+        if not outcome.ok:
+            rows.append(failed_row(workload, size, outcome.method,
+                                   outcome.error_class, outcome.error,
+                                   full=baseline))
+        else:
+            rows.append(compare_kernels(workload, size, outcome.method,
+                                        baseline,
+                                        outcome.to_kernel_result()))
+    return rows
+
+
+def _merge_state(outcomes: Sequence[TaskOutcome],
+                 on_conflict: str) -> Tuple[AnalysisStore,
+                                            Optional[KernelDB],
+                                            MergeStats, MergeStats]:
+    """Fold worker store/db payloads together, in task order."""
+    store = AnalysisStore()
+    store_stats = MergeStats()
+    db: Optional[KernelDB] = None
+    db_stats = MergeStats()
+    for outcome in sorted(outcomes, key=lambda o: o.index):
+        if outcome.store_payload is not None:
+            part = analysis_store_from_payload(outcome.store_payload)
+            store_stats.update(store.merge(part, on_conflict=on_conflict))
+        if outcome.kerneldb_payload is not None:
+            part_db = kernel_db_from_payload(outcome.kerneldb_payload)
+            if db is None:
+                db = part_db
+                db_stats.added += len(part_db)
+            else:
+                db_stats.update(db.merge(part_db))
+    return store, db, store_stats, db_stats
+
+
+def _with_deadline(watchdog: Optional[WatchdogConfig],
+                   deadline: float) -> WatchdogConfig:
+    if watchdog is None:
+        return WatchdogConfig(deadline_seconds=deadline)
+    if watchdog.deadline_seconds is not None:
+        deadline = min(watchdog.deadline_seconds, deadline)
+    return dataclasses.replace(watchdog, deadline_seconds=deadline)
+
+
+def _default_context() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+    queue_depth: int = 2,
+    sweep_deadline: Optional[float] = None,
+    on_conflict: str = "keep",
+) -> SweepResult:
+    """Execute a sweep plan and merge its results.
+
+    ``jobs=1`` runs every task inline (no processes) — the reference
+    path the parallel one is tested against.  ``jobs>1`` schedules the
+    tasks over a process pool, keeping at most ``jobs * queue_depth``
+    tasks in flight (the bounded work queue).  ``sweep_deadline``
+    splits a whole-sweep wall-clock budget into per-task watchdog
+    deadlines via :meth:`WatchdogConfig.per_task`.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+    if queue_depth < 1:
+        raise ConfigError(
+            f"queue_depth must be >= 1, got {queue_depth!r}")
+    tasks = list(tasks)
+    if sweep_deadline is not None:
+        per = WatchdogConfig(deadline_seconds=sweep_deadline).per_task(
+            max(1, len(tasks)), jobs)
+        tasks = [dataclasses.replace(
+            task, watchdog=_with_deadline(task.watchdog,
+                                          per.deadline_seconds))
+            for task in tasks]
+
+    t0 = _time.perf_counter()
+    if jobs == 1 or len(tasks) <= 1:
+        ctx_name = "inline"
+        outcomes = [run_task(task) for task in tasks]
+        queue_waits = [0.0] * len(outcomes)
+    else:
+        ctx_name = mp_context or _default_context()
+        outcomes, queue_waits = _run_pool(tasks, jobs, ctx_name,
+                                          queue_depth)
+    total_wall = _time.perf_counter() - t0
+
+    rows = rows_from_outcomes(outcomes)
+    store, db, store_stats, db_stats = _merge_state(outcomes, on_conflict)
+    report = RunReport(jobs=jobs, mp_context=ctx_name,
+                       total_wall=total_wall)
+    for outcome, queue_wait in zip(outcomes, queue_waits):
+        report.tasks.append(TaskTelemetry(
+            index=outcome.index,
+            workload=outcome.workload,
+            size=outcome.size,
+            method=outcome.method,
+            worker=outcome.worker,
+            queue_wait=queue_wait,
+            task_wall=outcome.task_wall,
+            sim_wall=outcome.wall_seconds,
+            attempts=outcome.attempts,
+            fallbacks=len(outcome.fallbacks),
+            status=outcome.status,
+            error_class=outcome.error_class,
+        ))
+    return SweepResult(rows=rows, outcomes=outcomes, store=store,
+                       kernel_db=db, report=report,
+                       store_merge=store_stats, db_merge=db_stats)
+
+
+def _run_pool(tasks: List[SweepTask], jobs: int, ctx_name: str,
+              queue_depth: int) -> Tuple[List[TaskOutcome], List[float]]:
+    """Bounded-window scheduling over a process pool."""
+    ctx = multiprocessing.get_context(ctx_name)
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    queue_waits = [0.0] * len(tasks)
+    backlog = list(enumerate(tasks))
+    backlog.reverse()  # pop() from the front of the plan
+    max_inflight = jobs * queue_depth
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+        inflight = {}
+
+        def submit_more() -> None:
+            while backlog and len(inflight) < max_inflight:
+                position, task = backlog.pop()
+                future = pool.submit(run_task, task)
+                inflight[future] = (position, _time.monotonic())
+
+        submit_more()
+        while inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                position, submitted = inflight.pop(future)
+                task = tasks[position]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # worker died / pool broke
+                    outcome = TaskOutcome(
+                        index=task.index, workload=task.workload,
+                        size=task.size, method=task.method,
+                        status="error", stage="run",
+                        error_class=type(exc).__name__, error=str(exc))
+                else:
+                    queue_waits[position] = max(
+                        0.0, outcome.started - submitted)
+                outcomes[position] = outcome
+            submit_more()
+    return outcomes, queue_waits

@@ -1,0 +1,270 @@
+"""Self-contained sweep shards and the pure worker function.
+
+A :class:`SweepTask` names everything one evaluation cell-method needs —
+workload, problem size, method, GPU preset, data seed, Photon/PKA
+configuration, watchdog budgets and retry policy — as plain values, so
+a task can be pickled to a pool worker, serialized to JSON for audit,
+or executed inline: :func:`run_task` is the single code path for all
+three.  The baseline run of a cell is itself a task (``method="full"``),
+which keeps shards independent: no task ever waits on another's output.
+
+A task's product is a :class:`TaskOutcome`: a JSON-safe record carrying
+either the simulated result (plus the worker's analysis-store/kernel-db
+contents for the deterministic merge) or the failure that prevented
+one, tagged with the stage it occurred in (``build`` vs ``run``) so the
+scheduler can reconstruct exactly the rows the serial harness would
+have produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from .. import errors as _errors
+from ..core.config import PhotonConfig
+from ..core.kerneldb import KernelDB
+from ..core.persist import analysis_store_payload, kernel_db_payload
+from ..core.photon import AnalysisStore
+from ..baselines.pka import PkaConfig
+from ..errors import ConfigError, ReproError
+from ..harness.defaults import EVAL_PHOTON, resolve_gpu
+from ..harness.runner import (
+    LEVEL_METHODS,
+    _check_methods,
+    simulate_method,
+    workload_factory,
+)
+from ..reliability.ledger import FallbackEvent
+from ..reliability.retry import NO_RETRY, RetryPolicy
+from ..reliability.watchdog import WatchdogConfig
+from ..timing.simulator import KernelResult, simulate_kernel_detailed
+
+#: method name reserved for the full-detailed baseline task of a cell
+FULL_METHOD = "full"
+
+
+def _transient_names(retry: RetryPolicy) -> List[str]:
+    return [cls.__name__ for cls in retry.transient]
+
+
+def _transient_from_names(names: List[str]) -> Tuple[Type[ReproError], ...]:
+    classes = []
+    for name in names:
+        cls = getattr(_errors, name, None)
+        if cls is None or not (isinstance(cls, type)
+                               and issubclass(cls, ReproError)):
+            raise ConfigError(
+                f"unknown transient error class {name!r} in task payload")
+        classes.append(cls)
+    return tuple(classes)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (workload, size, method) shard of an evaluation sweep."""
+
+    index: int          # position in the deterministic sweep plan
+    workload: str
+    size: int           # problem size in warps
+    method: str         # FULL_METHOD or any harness method name
+    gpu: str = "r9nano"  # preset name, resolved in the worker
+    seed: Optional[int] = None  # workload data seed (None = default)
+    photon: PhotonConfig = EVAL_PHOTON
+    pka: Optional[PkaConfig] = None
+    watchdog: Optional[WatchdogConfig] = None
+    retry: RetryPolicy = NO_RETRY
+
+    @property
+    def cell(self) -> Tuple[str, int]:
+        """The evaluation cell this task belongs to."""
+        return (self.workload, self.size)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "size": self.size,
+            "method": self.method,
+            "gpu": self.gpu,
+            "seed": self.seed,
+            "photon": dataclasses.asdict(self.photon),
+            "pka": (dataclasses.asdict(self.pka)
+                    if self.pka is not None else None),
+            "watchdog": (dataclasses.asdict(self.watchdog)
+                         if self.watchdog is not None else None),
+            "retry": {"max_attempts": self.retry.max_attempts,
+                      "transient": _transient_names(self.retry)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepTask":
+        retry_data = data.get("retry") or {}
+        retry = RetryPolicy(
+            max_attempts=int(retry_data.get("max_attempts", 1)),
+            transient=_transient_from_names(
+                list(retry_data.get("transient", []))),
+        )
+        return cls(
+            index=int(data["index"]),
+            workload=str(data["workload"]),
+            size=int(data["size"]),
+            method=str(data["method"]),
+            gpu=str(data.get("gpu", "r9nano")),
+            seed=(int(data["seed"]) if data.get("seed") is not None
+                  else None),
+            photon=PhotonConfig(**data["photon"]),
+            pka=(PkaConfig(**data["pka"])
+                 if data.get("pka") is not None else None),
+            watchdog=(WatchdogConfig(**data["watchdog"])
+                      if data.get("watchdog") is not None else None),
+            retry=retry,
+        )
+
+
+@dataclass
+class TaskOutcome:
+    """Serializable product of one executed :class:`SweepTask`."""
+
+    index: int
+    workload: str
+    size: int
+    method: str
+    status: str = "ok"    # "ok" | "error"
+    stage: str = "run"    # "build" (workload construction) | "run"
+    error_class: str = ""
+    error: str = ""
+    # simulated result (valid when status == "ok")
+    sim_time: float = 0.0
+    wall_seconds: float = 0.0
+    n_insts: int = 0
+    detail_insts: int = 0
+    mode: str = ""
+    fallbacks: List[dict] = field(default_factory=list)
+    # worker-local reusable state, shipped back for the merge
+    store_payload: Optional[dict] = None
+    kerneldb_payload: Optional[dict] = None
+    # telemetry raw material
+    attempts: int = 1
+    worker: int = 0
+    started: float = 0.0   # time.monotonic() at worker pickup
+    task_wall: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_kernel_result(self) -> KernelResult:
+        """Rebuild the result object this outcome transported."""
+        result = KernelResult(
+            kernel_name=f"{self.workload}-{self.size}",
+            sim_time=self.sim_time,
+            wall_seconds=self.wall_seconds,
+            n_insts=self.n_insts,
+            mode=self.mode,
+            detail_insts=self.detail_insts,
+        )
+        result.errors.extend(FallbackEvent.from_dict(d)
+                             for d in self.fallbacks)
+        return result
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "size": self.size,
+            "method": self.method,
+            "status": self.status,
+            "stage": self.stage,
+            "error_class": self.error_class,
+            "error": self.error,
+            "sim_time": self.sim_time,
+            "wall_seconds": self.wall_seconds,
+            "n_insts": self.n_insts,
+            "detail_insts": self.detail_insts,
+            "mode": self.mode,
+            "fallbacks": list(self.fallbacks),
+            "store_payload": self.store_payload,
+            "kerneldb_payload": self.kerneldb_payload,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "started": self.started,
+            "task_wall": self.task_wall,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TaskOutcome":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def run_task(task: SweepTask) -> TaskOutcome:
+    """Execute one sweep shard; never raises for in-sweep failures.
+
+    Workload-construction errors come back as ``stage="build"``
+    outcomes, simulation errors as ``stage="run"`` — both carry the
+    exception class and one-line message so the scheduler can rebuild
+    the exact failed rows the serial harness produces.  An *unknown
+    method name* does raise (:class:`~repro.errors.WorkloadError`): a
+    typo is a caller bug, not a sweep casualty, mirroring the serial
+    harness contract.
+    """
+    if task.method != FULL_METHOD:
+        _check_methods([task.method])
+    started = _time.monotonic()
+    t0 = _time.perf_counter()
+    out = TaskOutcome(index=task.index, workload=task.workload,
+                      size=task.size, method=task.method,
+                      worker=os.getpid(), started=started)
+    try:
+        gpu = resolve_gpu(task.gpu)
+        kwargs = {} if task.seed is None else {"seed": task.seed}
+        factory = workload_factory(task.workload, task.size, **kwargs)
+        factory()  # surface construction errors as a "build" failure
+    except ReproError as exc:
+        out.status, out.stage = "error", "build"
+        out.error_class, out.error = type(exc).__name__, str(exc)
+        out.task_wall = _time.perf_counter() - t0
+        return out
+
+    # per-attempt state: a retried attempt starts from scratch, exactly
+    # like the serial harness (which re-runs the whole method closure)
+    holder: Dict[str, object] = {}
+
+    def attempt() -> KernelResult:
+        if task.method == FULL_METHOD:
+            return simulate_kernel_detailed(factory(), gpu,
+                                            watchdog=task.watchdog)
+        store = db = None
+        if task.method in LEVEL_METHODS:
+            store = AnalysisStore()
+            db = KernelDB(task.photon.kernel_distance, gpu.n_cu)
+        holder["store"], holder["db"] = store, db
+        return simulate_method(factory(), task.method, gpu, task.photon,
+                               task.pka, watchdog=task.watchdog,
+                               analysis_store=store, kernel_db=db)
+
+    try:
+        result, out.attempts = task.retry.run_with_attempts(attempt)
+    except ReproError as exc:
+        out.status, out.stage = "error", "run"
+        out.error_class, out.error = type(exc).__name__, str(exc)
+        out.task_wall = _time.perf_counter() - t0
+        return out
+
+    out.sim_time = result.sim_time
+    out.wall_seconds = result.wall_seconds
+    out.n_insts = result.n_insts
+    out.detail_insts = result.detail_insts
+    out.mode = result.mode
+    out.fallbacks = [event.to_dict() for event in result.errors]
+    store, db = holder.get("store"), holder.get("db")
+    if store is not None and len(store):
+        out.store_payload = analysis_store_payload(store)
+    if db is not None and len(db):
+        out.kerneldb_payload = kernel_db_payload(db)
+    out.task_wall = _time.perf_counter() - t0
+    return out

@@ -36,6 +36,18 @@ class FallbackEvent:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "FallbackEvent":
+        """Inverse of :meth:`to_dict` (ledgers cross process boundaries
+        as plain dicts in parallel sweeps)."""
+        return cls(
+            kernel=str(data["kernel"]),
+            from_level=str(data["from_level"]),
+            to_level=str(data["to_level"]),
+            error=str(data["error"]),
+            message=str(data["message"]),
+        )
+
     def __str__(self) -> str:  # pragma: no cover - convenience repr
         return (f"{self.kernel}: {self.from_level} -> {self.to_level} "
                 f"({self.error}: {self.message})")

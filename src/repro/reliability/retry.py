@@ -38,11 +38,19 @@ class RetryPolicy:
 
     def run(self, fn: Callable[[], T]) -> T:
         """Call ``fn``, retrying transient failures up to the bound."""
+        return self.run_with_attempts(fn)[0]
+
+    def run_with_attempts(self, fn: Callable[[], T]) -> Tuple[T, int]:
+        """Like :meth:`run`, also reporting how many attempts were used.
+
+        The attempt count feeds sweep telemetry: a cell that needed a
+        retry to pass is worth flagging even though it succeeded.
+        """
         attempt = 0
         while True:
             attempt += 1
             try:
-                return fn()
+                return fn(), attempt
             except self.transient:
                 if attempt >= self.max_attempts:
                     raise

@@ -24,6 +24,8 @@ watchdog costs one integer compare per tick on the hot path.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import time as _time
 from dataclasses import dataclass
 from typing import Optional
@@ -65,6 +67,25 @@ class WatchdogConfig:
                         stall_ticks=self.stall_events,
                         check_interval=self.check_interval,
                         unit="events", label=label)
+
+    def per_task(self, n_tasks: int, jobs: int = 1) -> "WatchdogConfig":
+        """Split the wall-clock deadline across a sweep's tasks.
+
+        A sweep-level deadline becomes a per-task budget by dividing it
+        over the longest task chain any single worker executes
+        (``ceil(n_tasks / jobs)``).  Event/instruction budgets are
+        already per-run and pass through unchanged; a config with no
+        deadline is returned as-is.
+        """
+        if n_tasks < 1:
+            raise ConfigError(f"n_tasks must be >= 1, got {n_tasks!r}")
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+        if self.deadline_seconds is None:
+            return self
+        chain = math.ceil(n_tasks / jobs)
+        return dataclasses.replace(
+            self, deadline_seconds=self.deadline_seconds / chain)
 
     def for_executor(self, label: str) -> "Watchdog":
         """Watchdog instance guarding one functional warp run."""

@@ -1,0 +1,77 @@
+"""The ``sweep`` subcommand: table output, JSON, validation, shards."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_sweep_renders_table_and_summary(capsys):
+    assert main(["sweep", "relu", "--sizes", "256",
+                 "--methods", "photon"]) == 0
+    out = capsys.readouterr().out
+    assert "relu" in out and "photon" in out and "full" in out
+    assert "err_%" in out
+    assert "tasks" in out  # telemetry summary line
+
+
+def test_sweep_json_to_stdout_is_pure_json(capsys):
+    assert main(["sweep", "relu", "--sizes", "256",
+                 "--methods", "photon", "--json", "-"]) == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)  # nothing but the JSON document
+    assert len(data["rows"]) == 2  # full + photon
+    assert data["telemetry"]["jobs"] == 1
+    assert {r["method"] for r in data["rows"]} == {"full", "photon"}
+
+
+def test_sweep_json_to_file(capsys, tmp_path):
+    path = tmp_path / "sweep.json"
+    assert main(["sweep", "relu", "--sizes", "256",
+                 "--methods", "photon", "--json", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["store_merge"]["added"] >= 0
+    assert "relu" in capsys.readouterr().out  # table still printed
+
+
+def test_sweep_unknown_method_one_line_error(capsys):
+    assert main(["sweep", "relu", "--methods", "phtoon"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # one line, no traceback
+    assert "phtoon" in err and "WorkloadError" in err
+
+
+def test_sweep_unknown_workload_one_line_error(capsys):
+    assert main(["sweep", "nope", "--sizes", "256"]) == 2
+    err = capsys.readouterr().err
+    assert "nope" in err and err.count("\n") == 1
+
+
+def test_sweep_bad_shard_rejected(capsys):
+    assert main(["sweep", "relu", "--sizes", "256",
+                 "--shard", "banana"]) == 2
+    assert "ConfigError" in capsys.readouterr().err
+    assert main(["sweep", "relu", "--sizes", "256",
+                 "--shard", "3/2"]) == 2
+    assert "shard" in capsys.readouterr().err
+
+
+def test_sweep_shard_runs_subset(capsys):
+    # 2 cells, 2 shards: each shard runs exactly one cell
+    assert main(["sweep", "relu", "fir", "--sizes", "256",
+                 "--methods", "photon", "--shard", "1/2",
+                 "--json", "-"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    workloads = {r["workload"] for r in data["rows"]}
+    assert workloads == {"fir"}
+
+
+def test_sweep_jobs_flag_parses_and_runs(capsys):
+    # end-to-end through the process pool (2 tasks, 2 workers)
+    assert main(["sweep", "relu", "--sizes", "256",
+                 "--methods", "photon", "--jobs", "2",
+                 "--json", "-"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["telemetry"]["jobs"] == 2
+    assert len(data["rows"]) == 2
