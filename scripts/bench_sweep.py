@@ -7,8 +7,19 @@ the determinism contract (both runs must render byte-identical
 deterministic comparison tables), and writes ``BENCH_sweep.json`` with
 the speedup and per-task telemetry.
 
+It also measures the observability layer's instrumentation overhead
+(see ``docs/observability.md``): one detailed kernel run is timed with
+no sinks attached (the production default — the bus's zero-allocation
+path), with the CLI's summary accounting (a ``CountingSink`` on the
+cheap ``CORE_KINDS``), and with a full-fidelity ``MemorySink`` on
+every kind.  The ``obs_overhead`` record lands in the JSON;
+``--max-obs-overhead R`` turns the core-accounting ratio into a CI
+gate.
+
     PYTHONPATH=src python scripts/bench_sweep.py --jobs 4
     PYTHONPATH=src python scripts/bench_sweep.py --smoke   # tiny, for CI
+    PYTHONPATH=src python scripts/bench_sweep.py --smoke \
+        --max-obs-overhead 0.10                            # overhead gate
 
 Wall-clock speedup requires actual hardware concurrency: on a
 single-core machine the parallel run cannot beat the serial one (the
@@ -25,8 +36,12 @@ import os
 import sys
 import time
 
+from repro import obs
+from repro.harness.defaults import resolve_gpu
+from repro.harness.runner import workload_factory
 from repro.harness.tables import comparison_table
 from repro.parallel import plan_sweep, run_sweep
+from repro.timing.simulator import simulate_kernel_detailed
 
 DEMO_WORKLOADS = ("relu", "fir", "sc", "spmv")
 
@@ -36,6 +51,56 @@ def _available_cores() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # non-Linux
         return os.cpu_count() or 1
+
+
+def measure_obs_overhead(size: int = 1024, repeats: int = 3) -> dict:
+    """Time one detailed kernel run under three instrumentation levels.
+
+    ``detached`` is the production default (no sinks anywhere — each
+    potential event costs one empty-list truth test); ``core`` adds the
+    CLI's always-on summary accounting; ``full`` subscribes a
+    ``MemorySink`` to every kind, including the per-instruction ones.
+    The minimum of ``repeats`` runs is reported for each level to
+    damp scheduler noise.
+    """
+    factory = workload_factory("relu", size)
+    kernel = factory()
+    gpu = resolve_gpu("r9nano")
+    bus = obs.current_bus()
+
+    def run_once() -> float:
+        t0 = time.perf_counter()
+        simulate_kernel_detailed(kernel, gpu, bus=bus)
+        return time.perf_counter() - t0
+
+    run_once()  # warm caches, import costs, branch predictors
+    detached = min(run_once() for _ in range(repeats))
+
+    counting = obs.CountingSink()
+    bus.add_sink(counting, kinds=list(obs.CORE_KINDS))
+    try:
+        core = min(run_once() for _ in range(repeats))
+    finally:
+        bus.remove_sink(counting)
+
+    memory = obs.MemorySink()
+    bus.add_sink(memory)
+    try:
+        full = min(run_once() for _ in range(repeats))
+    finally:
+        bus.remove_sink(memory)
+
+    return {
+        "workload": "relu",
+        "size": size,
+        "repeats": repeats,
+        "detached_wall": detached,
+        "core_sink_wall": core,
+        "full_sink_wall": full,
+        "core_overhead": core / detached - 1.0,
+        "full_overhead": full / detached - 1.0,
+        "full_events": len(memory.events) // max(1, repeats),
+    }
 
 
 def main(argv=None) -> int:
@@ -48,6 +113,11 @@ def main(argv=None) -> int:
                         help="tiny sizes and 2 jobs (CI smoke run)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero if speedup falls below this")
+    parser.add_argument("--max-obs-overhead", type=float, default=None,
+                        metavar="R",
+                        help="exit non-zero if the core-accounting "
+                             "instrumentation overhead ratio exceeds R "
+                             "(e.g. 0.10 for 10%%)")
     args = parser.parse_args(argv)
 
     jobs = 2 if args.smoke else args.jobs
@@ -81,6 +151,12 @@ def main(argv=None) -> int:
     print(f"determinism: serial and parallel tables "
           f"{'MATCH' if deterministic else 'DIFFER'}")
 
+    overhead = measure_obs_overhead(size=256 if args.smoke else 1024)
+    print(f"obs overhead: detached {overhead['detached_wall']:.3f}s, "
+          f"core accounting {overhead['core_overhead'] * 100.0:+.1f}%, "
+          f"full trace {overhead['full_overhead'] * 100.0:+.1f}% "
+          f"({overhead['full_events']} events)")
+
     record = {
         "jobs": jobs,
         "n_tasks": len(tasks),
@@ -92,6 +168,7 @@ def main(argv=None) -> int:
         "deterministic": deterministic,
         "serial_telemetry": serial.report.to_dict(),
         "parallel_telemetry": parallel.report.to_dict(),
+        "obs_overhead": overhead,
         "table": parallel_table,
     }
     with open(args.out, "w") as handle:
@@ -101,6 +178,12 @@ def main(argv=None) -> int:
 
     if not deterministic:
         print("FAIL: determinism contract violated", file=sys.stderr)
+        return 1
+    if (args.max_obs_overhead is not None
+            and overhead["core_overhead"] > args.max_obs_overhead):
+        print(f"FAIL: instrumentation overhead "
+              f"{overhead['core_overhead'] * 100.0:.1f}% > allowed "
+              f"{args.max_obs_overhead * 100.0:.1f}%", file=sys.stderr)
         return 1
     if args.min_speedup is not None and speedup < args.min_speedup:
         if cores < jobs:

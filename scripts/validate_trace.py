@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Validate recorded traces against the ``repro.obs`` event schema.
+
+Checks a JSONL structured trace (from ``--trace FILE.jsonl``) line by
+line: every record must be a flat JSON object whose ``kind`` names a
+registered event type, whose field set is exactly that type's schema
+(plus ``kind`` and ``seq``), and whose ``seq`` numbers are strictly
+increasing.  With ``--chrome FILE.json`` it also validates a
+Chrome-trace export (from ``--trace FILE.json`` or ``repro trace
+export``): the document must carry a ``traceEvents`` list of well-formed
+``X``/``i``/``M`` records with non-negative timestamps and durations.
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.jsonl
+    PYTHONPATH=src python scripts/validate_trace.py trace.jsonl \
+        --chrome trace.json
+
+Exits 0 when every check passes, 1 otherwise (first 10 problems are
+printed).  CI runs this after the trace-smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.obs import ALL_TYPES
+
+_MAX_REPORTED = 10
+_CHROME_PHASES = {"X", "i", "M"}
+
+
+def validate_jsonl(path: str) -> List[str]:
+    """Schema-check one JSONL trace; returns a list of problems."""
+    errors: List[str] = []
+    last_seq = 0
+    n_lines = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            n_lines += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            if not isinstance(record, dict):
+                errors.append(f"{path}:{lineno}: not an object")
+                continue
+            kind = record.get("kind")
+            etype = (ALL_TYPES.get(kind)
+                     if isinstance(kind, str) else None)
+            if etype is None:
+                errors.append(
+                    f"{path}:{lineno}: unknown kind {kind!r}")
+                continue
+            expected = {"kind", "seq", *etype.fields}
+            got = set(record)
+            if got != expected:
+                missing = sorted(expected - got)
+                extra = sorted(got - expected)
+                errors.append(
+                    f"{path}:{lineno}: {kind} fields mismatch"
+                    + (f", missing {missing}" if missing else "")
+                    + (f", unexpected {extra}" if extra else ""))
+            seq = record.get("seq")
+            if not isinstance(seq, int) or seq <= last_seq:
+                errors.append(
+                    f"{path}:{lineno}: seq {seq!r} not strictly "
+                    f"increasing (previous {last_seq})")
+            else:
+                last_seq = seq
+    if n_lines == 0:
+        errors.append(f"{path}: empty trace")
+    return errors
+
+
+def validate_chrome(path: str) -> List[str]:
+    """Structure-check one Chrome-trace JSON document."""
+    errors: List[str] = []
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents list"]
+    if not events:
+        errors.append(f"{path}: traceEvents is empty")
+    seen_phases = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"{path}: traceEvents[{i}] not an object")
+            continue
+        phase = ev.get("ph")
+        seen_phases.add(phase)
+        if phase not in _CHROME_PHASES:
+            errors.append(
+                f"{path}: traceEvents[{i}] unknown phase {phase!r}")
+            continue
+        if "pid" not in ev or "name" not in ev:
+            errors.append(
+                f"{path}: traceEvents[{i}] missing pid/name")
+        if phase == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(
+                f"{path}: traceEvents[{i}] bad ts {ts!r}")
+        if phase == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{path}: traceEvents[{i}] bad dur {dur!r}")
+    if "M" not in seen_phases:
+        errors.append(f"{path}: no process_name metadata events")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="JSONL structured trace to check")
+    parser.add_argument("--chrome", default=None, metavar="FILE",
+                        help="also validate a Chrome-trace JSON export")
+    args = parser.parse_args(argv)
+
+    errors = validate_jsonl(args.jsonl)
+    checked = [args.jsonl]
+    if args.chrome is not None:
+        errors.extend(validate_chrome(args.chrome))
+        checked.append(args.chrome)
+    if errors:
+        for problem in errors[:_MAX_REPORTED]:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if len(errors) > _MAX_REPORTED:
+            print(f"... and {len(errors) - _MAX_REPORTED} more",
+                  file=sys.stderr)
+        return 1
+    print(f"OK: {', '.join(checked)} valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,15 @@ scripts:
     python -m repro app resnet50
     python -m repro sweep relu fir --sizes 2048 4096 --jobs 4
     python -m repro sweep relu --jobs 4 --shard 0/2 --json results.json
+    python -m repro run relu --trace relu.jsonl --metrics
+    python -m repro trace export relu.jsonl relu.json
     python -m repro list
+
+Observability (see ``docs/observability.md``): ``--trace FILE``
+records every bus event to FILE (``.json`` → Chrome trace for
+Perfetto, anything else → JSONL); ``--metrics`` prints the event and
+counter summary to stderr, keeping stdout machine-readable; ``repro
+trace export`` converts a recorded JSONL trace to Chrome-trace JSON.
 """
 
 from __future__ import annotations
@@ -17,9 +25,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .errors import ConfigError, ReproError, WorkloadError
+from .obs import (
+    CORE_KINDS,
+    CountingSink,
+    current_bus,
+    open_trace,
+    to_chrome_trace,
+)
 from .harness.defaults import (
     EVAL_PHOTON,
     GPU_PRESET_NAMES,
@@ -93,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--methods", nargs="+", default=["photon"],
                      choices=_ALL_METHODS)
     _add_watchdog_flags(run)
+    _add_obs_flags(run)
 
     app = sub.add_parser("app", help="run a multi-kernel application")
     app.add_argument("name", choices=sorted(APP_BUILDERS))
@@ -101,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     app.add_argument("--methods", nargs="+", default=["photon"],
                      choices=_ALL_METHODS)
     _add_watchdog_flags(app)
+    _add_obs_flags(app)
 
     sweep = sub.add_parser(
         "sweep",
@@ -130,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="split S wall-clock seconds into per-task "
                             "watchdog deadlines")
     _add_watchdog_flags(sweep)
+    _add_obs_flags(sweep)
+
+    trace = sub.add_parser("trace", help="work with recorded traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a JSONL structured trace to Chrome-trace JSON")
+    export.add_argument("input", help="JSONL trace from --trace")
+    export.add_argument("output",
+                        help="Chrome-trace JSON path ('-' for stdout)")
 
     sub.add_parser("list", help="list workloads, apps and methods")
     return parser
@@ -144,11 +171,65 @@ def _add_watchdog_flags(sub: argparse.ArgumentParser) -> None:
         help="abort any single detailed simulation after N engine events")
 
 
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace", default=None, metavar="FILE", dest="trace_out",
+        help="record every observability event to FILE "
+             "(.json → Chrome trace, anything else → JSONL)")
+    sub.add_argument(
+        "--metrics", action="store_true",
+        help="print the event/counter summary to stderr after the run")
+
+
 def _watchdog_from(args: argparse.Namespace) -> Optional[WatchdogConfig]:
     if args.deadline_seconds is None and args.max_events is None:
         return None
     return WatchdogConfig(deadline_seconds=args.deadline_seconds,
                           max_events=args.max_events)
+
+
+class _ObsSession:
+    """CLI-scoped observability: summary accounting plus optional trace.
+
+    A :class:`CountingSink` on the cheap ``CORE_KINDS`` is always
+    attached so ``--json`` / ``--metrics`` can report what happened;
+    the full-fidelity trace sink (every kind, including per-instruction
+    events) only exists when the user passed ``--trace``.
+    """
+
+    def __init__(self, trace_path: Optional[str]):
+        self.bus = current_bus()
+        self.trace_path = trace_path
+        self.counting = CountingSink()
+        self.bus.add_sink(self.counting, kinds=list(CORE_KINDS))
+        self.trace_sink = (open_trace(self.bus, trace_path)
+                           if trace_path else None)
+
+    def finish(self) -> None:
+        if self.trace_sink is not None:
+            self.bus.remove_sink(self.trace_sink)
+            self.trace_sink.close()
+        self.bus.remove_sink(self.counting)
+
+    def summary(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "events": dict(sorted(self.counting.counts.items())),
+            "metrics": self.bus.metrics.snapshot(),
+        }
+        if self.trace_path is not None:
+            data["trace"] = self.trace_path
+        return data
+
+    def print_summary(self) -> None:
+        summary = self.summary()
+        print("-- observability --", file=sys.stderr)
+        for kind, count in summary["events"].items():
+            print(f"event {kind}: {count}", file=sys.stderr)
+        counters = summary["metrics"]["counters"]
+        for name in sorted(counters):
+            print(f"counter {name}: {counters[name]}", file=sys.stderr)
+        if self.trace_path is not None:
+            print(f"trace written to {self.trace_path}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -163,39 +244,80 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
+        if args.command == "trace":
+            return _trace_export(args)
         return _run(args)
     except ReproError as exc:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
 
 
-def _run(args: argparse.Namespace) -> int:
-    _validate_methods(args.methods)
-    watchdog = _watchdog_from(args)
-    if args.command == "sweep":
-        return _run_sweep(args, watchdog)
-    gpu = resolve_gpu(args.gpu)
-    if args.command == "run":
-        rows = run_methods_kernel(
-            workload_factory(args.workload, args.size),
-            args.workload, args.size, gpu=gpu,
-            methods=tuple(args.methods), photon_config=EVAL_PHOTON,
-            watchdog=watchdog)
-        print(comparison_table(rows))
-        return 0
-
-    out = run_methods_app(APP_BUILDERS[args.name], args.name, gpu=gpu,
-                          methods=tuple(args.methods),
-                          photon_config=EVAL_PHOTON, watchdog=watchdog)
-    print(comparison_table(out["rows"]))
-    for method in args.methods:
-        if method in out:
-            print(f"{method} modes: {out[method].mode_counts()}")
+def _trace_export(args: argparse.Namespace) -> int:
+    """Convert a JSONL structured trace to Chrome-trace JSON."""
+    events = []
+    try:
+        with open(args.input) as handle:
+            for n, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ConfigError(
+                        f"{args.input}:{n}: not a JSONL trace line: "
+                        f"{exc}") from None
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace {args.input!r}: "
+                          f"{exc}") from None
+    trace = to_chrome_trace(events)
+    payload = json.dumps(trace, allow_nan=False)
+    if args.output == "-":
+        print(payload)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(events)} events "
+              f"({len(trace['traceEvents'])} trace records) to "
+              f"{args.output}", file=sys.stderr)
     return 0
 
 
+def _run(args: argparse.Namespace) -> int:
+    _validate_methods(args.methods)
+    watchdog = _watchdog_from(args)
+    obs = _ObsSession(args.trace_out)
+    try:
+        if args.command == "sweep":
+            return _run_sweep(args, watchdog, obs)
+        gpu = resolve_gpu(args.gpu)
+        if args.command == "run":
+            rows = run_methods_kernel(
+                workload_factory(args.workload, args.size),
+                args.workload, args.size, gpu=gpu,
+                methods=tuple(args.methods), photon_config=EVAL_PHOTON,
+                watchdog=watchdog)
+            print(comparison_table(rows))
+            return 0
+
+        out = run_methods_app(APP_BUILDERS[args.name], args.name,
+                              gpu=gpu, methods=tuple(args.methods),
+                              photon_config=EVAL_PHOTON,
+                              watchdog=watchdog)
+        print(comparison_table(out["rows"]))
+        for method in args.methods:
+            if method in out:
+                print(f"{method} modes: {out[method].mode_counts()}")
+        return 0
+    finally:
+        obs.finish()
+        if args.metrics:
+            obs.print_summary()
+
+
 def _run_sweep(args: argparse.Namespace,
-               watchdog: Optional[WatchdogConfig]) -> int:
+               watchdog: Optional[WatchdogConfig],
+               obs: _ObsSession) -> int:
     tasks = plan_sweep(
         args.workloads, sizes=args.sizes,
         methods=tuple(args.methods), gpu=args.gpu, seed=args.seed,
@@ -208,7 +330,9 @@ def _run_sweep(args: argparse.Namespace,
         print()
         print(result.report.summary())
     if args.json_out is not None:
-        payload = json.dumps(result.to_dict(), indent=2, allow_nan=False)
+        record = result.to_dict()
+        record["obs"] = obs.summary()
+        payload = json.dumps(record, indent=2, allow_nan=False)
         if args.json_out == "-":
             print(payload)
         else:

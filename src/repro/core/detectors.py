@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..obs import DETECTOR_SWITCH
 from ..reliability.faults import FaultPlan
 from ..timing.engine import DetailedEngine, EngineListener
 from .config import PhotonConfig
@@ -94,6 +95,9 @@ class BBSamplingDetector(EngineListener):
         self.switched = True
         self.switch_time = time
         if self._engine is not None:
+            self._engine.bus.emit(DETECTOR_SWITCH,
+                                  self.analysis.kernel_name, "bb", time)
+            self._engine.bus.metrics.counter("detector.bb_switches").inc()
             self._engine.request_stop()
 
     def bb_time_table(self) -> Dict[int, float]:
@@ -149,6 +153,11 @@ class WarpSamplingDetector(EngineListener):
             self.switched = True
             self.switch_time = retire
             if self._engine is not None:
+                self._engine.bus.emit(DETECTOR_SWITCH,
+                                      self.analysis.kernel_name, "warp",
+                                      retire)
+                self._engine.bus.metrics.counter(
+                    "detector.warp_switches").inc()
                 self._engine.request_stop()
 
     def mean_warp_duration(self) -> float:

@@ -48,6 +48,7 @@ from ..config.gpu_configs import GpuConfig
 from ..errors import ConfigError, SamplingError, TimingError
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Application, Kernel
+from ..obs import RELIABILITY_FALLBACK, EventBus, current_bus
 from ..reliability.faults import FaultPlan
 from ..reliability.ledger import FALLBACK_CHAIN, FallbackEvent
 from ..reliability.watchdog import WatchdogConfig
@@ -193,8 +194,10 @@ class Photon:
         watchdog: Optional[WatchdogConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         kernel_db: Optional[KernelDB] = None,
+        bus: Optional[EventBus] = None,
     ):
         self.gpu_config = gpu_config
+        self.bus = bus if bus is not None else current_bus()
         self.config = config or PhotonConfig()
         self.projector = BBVProjector(self.config.bbv_dim)
         if kernel_db is not None:
@@ -266,8 +269,15 @@ class Photon:
 
     # -- degradation ladder ------------------------------------------------------
 
-    @staticmethod
-    def _degrade(kernel: Kernel, level: str, allow: Dict[str, bool],
+    def _record_fallback(self, ledger: List[FallbackEvent],
+                         event: FallbackEvent) -> None:
+        """Append to the ledger and mirror the step onto the bus."""
+        ledger.append(event)
+        self.bus.emit(RELIABILITY_FALLBACK, event.kernel, event.from_level,
+                      event.to_level, event.error)
+        self.bus.metrics.counter("photon.fallbacks").inc()
+
+    def _degrade(self, kernel: Kernel, level: str, allow: Dict[str, bool],
                  ledger: List[FallbackEvent], exc: Exception) -> None:
         """Disable ``level`` (and finer levels) after a failure there."""
         idx = FALLBACK_CHAIN.index(level)
@@ -277,7 +287,7 @@ class Photon:
         to_level = next(
             (lv for lv in FALLBACK_CHAIN[idx + 1:-1] if allow.get(lv)),
             "full")
-        ledger.append(FallbackEvent(
+        self._record_fallback(ledger, FallbackEvent(
             kernel=kernel.name,
             from_level=level,
             to_level=to_level,
@@ -340,7 +350,7 @@ class Photon:
             except _RECOVERABLE as exc:
                 # corrupt cached entry: quarantine it and re-analyse
                 self.analysis_store.discard(kernel)
-                ledger.append(FallbackEvent(
+                self._record_fallback(ledger, FallbackEvent(
                     kernel=kernel.name,
                     from_level="store",
                     to_level="analysis",
@@ -366,6 +376,7 @@ class Photon:
             hierarchy=self.hierarchy,
             collect_latency=True,
             watchdog=self.watchdog,
+            bus=self.bus,
         )
         bb_detector = None
         warp_detector = None
@@ -443,7 +454,8 @@ class Photon:
         interval_cache: Dict[int, float] = {}
         duration_cache: Dict[Tuple[int, ...], float] = {}
         program = kernel.program
-        executor = FunctionalExecutor(kernel, watchdog=self.watchdog)
+        executor = FunctionalExecutor(kernel, watchdog=self.watchdog,
+                                      bus=self.bus)
 
         def bb_time(pc: int) -> float:
             known = table.get(pc)

@@ -23,6 +23,7 @@ model's job (barriers are simulated there).
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -30,6 +31,7 @@ import numpy as np
 from ..errors import ExecutionError
 from ..isa.instructions import Instruction
 from ..isa.opcodes import Imm, OpClass, Opcode, SReg, VReg
+from ..obs import EXEC_WARP, EventBus, current_bus
 from ..reliability.faults import FaultPlan
 from ..reliability.watchdog import WatchdogConfig
 from .kernel import (
@@ -128,6 +130,40 @@ _K_WAITCNT = 21
 _K_END = 22
 
 
+def make_operand_reader(sregs, vregs=None):
+    """Build the operand-evaluation closure shared by both executor modes.
+
+    ``spec`` entries come from :class:`_StaticInfo.src_spec`:
+    ``("s", idx)`` reads scalar register ``idx``, ``("v", idx)`` reads
+    vector register ``idx``, and ``("i", value)`` is an immediate.
+
+    FULL mode passes both register files; CONTROL mode passes only
+    ``sregs`` — it interprets the scalar/uniform side exclusively, so a
+    vector operand reaching its reader is a mode violation and raises
+    :class:`~repro.errors.ExecutionError` instead of silently
+    mis-evaluating.
+    """
+    if vregs is None:
+        def val(spec):
+            tag, x = spec
+            if tag == "s":
+                return sregs[x]
+            if tag == "v":
+                raise ExecutionError(
+                    f"vector operand v{x} evaluated in scalar-only "
+                    f"(CONTROL) mode")
+            return x
+    else:
+        def val(spec):
+            tag, x = spec
+            if tag == "s":
+                return sregs[x]
+            if tag == "v":
+                return vregs[x]
+            return x
+    return val
+
+
 def _kind_of(op: Opcode):
     """Resolve (kind, semantic function) for one opcode."""
     if op in _VECTOR_BINOPS:
@@ -217,12 +253,14 @@ class FunctionalExecutor:
 
     def __init__(self, kernel: Kernel, max_steps: int = DEFAULT_MAX_STEPS,
                  watchdog: Optional[WatchdogConfig] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 bus: Optional[EventBus] = None):
         self.kernel = kernel
         self.program = kernel.program
         self.max_steps = int(kernel.meta.get("max_steps", max_steps))
         self.watchdog = watchdog
         self.fault_plan = fault_plan
+        self.bus = bus if bus is not None else current_bus()
         leaders = {b.start for b in self.program.blocks}
         self._static = [
             _StaticInfo(inst, leaders) for inst in self.program.instructions
@@ -297,14 +335,9 @@ class FunctionalExecutor:
         read_gather = memory.read_gather
         write_scatter = memory.write_scatter
         read_word = memory.read_word
-
-        def val(spec):
-            tag, x = spec
-            if tag == "s":
-                return sregs[x]
-            if tag == "v":
-                return vregs[x]
-            return x
+        val = make_operand_reader(sregs, vregs)
+        warp_subs = self.bus.channel(EXEC_WARP).subscribers
+        t_start = _time.perf_counter() if warp_subs else 0.0
 
         while True:
             steps += 1
@@ -493,6 +526,10 @@ class FunctionalExecutor:
             dyn += 1
             pc = next_pc
 
+        if warp_subs:
+            wall = _time.perf_counter() - t_start
+            for fn in warp_subs:
+                fn(warp_id, "full", trace.n_insts, wall)
         return trace
 
     @staticmethod
@@ -539,10 +576,9 @@ class FunctionalExecutor:
         max_steps = self.max_steps
         wd = self._watchdog_for(warp_id)
         wd_seen = bytearray(len(static)) if wd is not None else None
-
-        def val(spec):
-            tag, x = spec
-            return sregs[x] if tag == "s" else x
+        val = make_operand_reader(sregs)
+        warp_subs = self.bus.channel(EXEC_WARP).subscribers
+        t_start = _time.perf_counter() if warp_subs else 0.0
 
         while True:
             steps += 1
@@ -590,4 +626,8 @@ class FunctionalExecutor:
             # counted above and otherwise skipped
             pc = next_pc
 
+        if warp_subs:
+            wall = _time.perf_counter() - t_start
+            for fn in warp_subs:
+                fn(warp_id, "control", trace.n_insts, wall)
         return trace

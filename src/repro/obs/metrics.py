@@ -1,0 +1,96 @@
+"""Metrics registry: named counters, timers, and spans.
+
+Metrics complement the event stream: events answer *what happened,
+when*; metrics answer *how much, how often, how long* without storing
+every occurrence.  The registry is deliberately tiny — a counter is one
+attribute increment, a timer two ``perf_counter`` calls — so harness
+code can meter itself unconditionally.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Timer:
+    """Accumulates wall seconds over any number of timed sections."""
+
+    __slots__ = ("name", "total", "count", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._t0 = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> "Timer":
+        self._t0 = _time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Close the open section; returns its duration in seconds."""
+        if self._t0 is None:
+            return 0.0
+        elapsed = _time.perf_counter() - self._t0
+        self._t0 = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Lazily-created named counters and timers, one namespace per bus."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = Timer(name)
+        return timer
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump of every metric, sorted by name."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "timers": {name: {"total": t.total, "count": t.count,
+                              "mean": t.mean}
+                       for name, t in sorted(self._timers.items())},
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._timers)

@@ -1,0 +1,130 @@
+"""Built-in event sinks: in-memory, counting, JSONL, Chrome trace.
+
+A sink receives fully materialised :class:`~repro.obs.events.Event`
+records from the bus.  Sinks never see positional publish arguments —
+by the time a sink is involved, the caller has opted into the
+allocation cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO
+
+from .bus import Sink
+from .chrome import to_chrome_trace
+from .events import Event
+
+
+class MemorySink(Sink):
+    """Keeps every event in a list — the test sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class CountingSink(Sink):
+    """Counts events per kind without storing them (run accounting)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def write(self, event: Event) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class JsonlSink(Sink):
+    """Writes one flat JSON object per event — the structured trace.
+
+    Each line is ``{"kind": ..., "seq": ..., <event fields>}``; the
+    schema per kind is defined by :data:`repro.obs.events.ALL_TYPES`
+    and validated by ``scripts/validate_trace.py``.
+    """
+
+    def __init__(self, path_or_handle) -> None:
+        if hasattr(path_or_handle, "write"):
+            self._handle: TextIO = path_or_handle
+            self._owned = False
+        else:
+            self._handle = open(path_or_handle, "w")
+            self._owned = True
+        self.n_written = 0
+
+    def write(self, event: Event) -> None:
+        self._handle.write(json.dumps(event.to_dict(), allow_nan=False))
+        self._handle.write("\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owned:
+            self._handle.close()
+
+
+class ChromeTraceSink(Sink):
+    """Buffers events and writes a Chrome-trace JSON file on close.
+
+    The produced file loads in ``chrome://tracing`` and Perfetto and
+    shows kernel/warp/basic-block spans interleaved with detector,
+    fallback, and watchdog instants (see ``docs/observability.md``).
+    """
+
+    def __init__(self, path: str, time_unit: str = "cycles"):
+        self.path = path
+        self.time_unit = time_unit
+        self.events: List[Event] = []
+        self._closed = False
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        trace = to_chrome_trace(
+            (e.to_dict() for e in self.events), time_unit=self.time_unit)
+        with open(self.path, "w") as handle:
+            json.dump(trace, handle, allow_nan=False)
+            handle.write("\n")
+
+
+def sink_for_path(path: str) -> Sink:
+    """Pick a trace sink by file extension (``.json`` → Chrome trace,
+    anything else → JSONL structured trace)."""
+    if path.endswith(".json"):
+        return ChromeTraceSink(path)
+    return JsonlSink(path)
+
+
+def open_trace(bus, path: str, kinds: Optional[List[str]] = None) -> Sink:
+    """Attach a trace sink for ``path`` to ``bus`` (every kind unless
+    ``kinds`` narrows it); returns the sink for later ``close()``."""
+    sink = sink_for_path(path)
+    bus.add_sink(sink, kinds=kinds)
+    return sink

@@ -43,6 +43,7 @@ from ..errors import ConfigError, SamplingError, WorkloadError
 from ..harness.defaults import EVAL_PHOTON, QUICK_SIZES
 from ..harness.metrics import Comparison, compare_kernels, failed_row
 from ..harness.runner import _check_methods
+from ..obs import PARALLEL_TASK, current_bus, reset_default_bus
 from ..reliability.retry import NO_RETRY, RetryPolicy
 from ..reliability.watchdog import WatchdogConfig
 from ..workloads.base import REGISTRY
@@ -296,7 +297,15 @@ def run_sweep(
     store, db, store_stats, db_stats = _merge_state(outcomes, on_conflict)
     report = RunReport(jobs=jobs, mp_context=ctx_name,
                        total_wall=total_wall)
+    bus = current_bus()
+    task_subs = bus.channel(PARALLEL_TASK).subscribers
     for outcome, queue_wait in zip(outcomes, queue_waits):
+        if task_subs:
+            t1 = outcome.started + outcome.task_wall
+            for fn in task_subs:
+                fn(outcome.index, outcome.workload, outcome.size,
+                   outcome.method, outcome.status, outcome.worker,
+                   outcome.started, t1)
         report.tasks.append(TaskTelemetry(
             index=outcome.index,
             workload=outcome.workload,
@@ -311,9 +320,23 @@ def run_sweep(
             status=outcome.status,
             error_class=outcome.error_class,
         ))
+    bus.metrics.counter("sweep.runs").inc()
+    bus.metrics.counter("sweep.tasks").inc(len(outcomes))
     return SweepResult(rows=rows, outcomes=outcomes, store=store,
                        kernel_db=db, report=report,
                        store_merge=store_stats, db_merge=db_stats)
+
+
+def _worker_init() -> None:
+    """Give each pool worker a pristine default bus.
+
+    A fork-started worker inherits the parent's default bus, including
+    any open file sinks — concurrent writes from several processes
+    would interleave garbage into the parent's trace.  Workers observe
+    nothing by default; the parent re-emits their telemetry as
+    ``parallel.task`` events after the merge.
+    """
+    reset_default_bus()
 
 
 def _run_pool(tasks: List[SweepTask], jobs: int, ctx_name: str,
@@ -325,7 +348,8 @@ def _run_pool(tasks: List[SweepTask], jobs: int, ctx_name: str,
     backlog = list(enumerate(tasks))
     backlog.reverse()  # pop() from the front of the plan
     max_inflight = jobs * queue_depth
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                             initializer=_worker_init) as pool:
         inflight = {}
 
         def submit_more() -> None:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Type
 
 from ..errors import InjectedFault, ReproError
+from ..obs import RELIABILITY_FAULT, current_bus
 
 
 @dataclass
@@ -92,6 +93,9 @@ class FaultPlan:
             error = spec.error(message)
             error.photon_level = spec.level if spec.level else level
             self.fired.append((site, type(error).__name__, kernel))
+            bus = current_bus()
+            bus.emit(RELIABILITY_FAULT, site, type(error).__name__, kernel)
+            bus.metrics.counter("faults.fired").inc()
             raise error
 
     def __len__(self) -> int:

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import BudgetExceeded, ConfigError, SimulationStalled
+from ..obs import RELIABILITY_WATCHDOG, current_bus
 
 
 @dataclass(frozen=True)
@@ -128,15 +129,30 @@ class Watchdog:
         """Record that the guarded loop made forward progress."""
         self.last_progress = self.ticks
 
+    def _trip(self, reason: str) -> None:
+        """Announce an imminent trip on the observability bus.
+
+        Runs only on the raise path, so the hot loop never pays for it;
+        the event lands on the *current* default bus because frozen
+        WatchdogConfig instances cross process boundaries and cannot
+        carry a bus reference.
+        """
+        bus = current_bus()
+        bus.emit(RELIABILITY_WATCHDOG, self.label, self.unit, self.ticks,
+                 reason)
+        bus.metrics.counter("watchdog.trips").inc()
+
     def tick(self, n: int = 1) -> None:
         """Account ``n`` units of work; raise when a budget is exhausted."""
         self.ticks += n
         if self.budget is not None and self.ticks > self.budget:
+            self._trip("budget")
             raise BudgetExceeded(
                 f"{self.label}: exceeded budget of {self.budget} "
                 f"{self.unit}")
         if (self.stall_ticks is not None
                 and self.ticks - self.last_progress > self.stall_ticks):
+            self._trip("stall")
             raise SimulationStalled(
                 f"{self.label}: no progress in the last "
                 f"{self.ticks - self.last_progress} {self.unit} "
@@ -144,6 +160,7 @@ class Watchdog:
         if self.deadline is not None and self.ticks >= self._next_poll:
             self._next_poll = self.ticks + self.check_interval
             if _time.monotonic() > self.deadline:
+                self._trip("deadline")
                 raise BudgetExceeded(
                     f"{self.label}: wall-clock deadline of "
                     f"{self.deadline - self._t0:.3f}s exceeded after "

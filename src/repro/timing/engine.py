@@ -6,12 +6,29 @@ issues instructions in order per warp through per-SIMD and scalar issue
 ports; memory operations traverse the cache hierarchy; ``s_barrier``
 synchronises workgroups; dependencies stall the per-warp in-order stream.
 
-Sampling methodologies hook in through :class:`EngineListener`: they
-observe warp dispatch/retire and basic-block completion events and may
-call :meth:`DetailedEngine.request_stop` to halt dispatch of further
+All instrumentation flows through the :mod:`repro.obs` event bus: the
+engine publishes workgroup-dispatch, warp-dispatch, basic-block,
+barrier, waitcnt, issue-port-stall, instruction-class and kernel-span
+events on its bus.  When no subscriber is attached to a kind, the
+corresponding publish is a single falsy-list check — the hot loop pays
+nothing by default and allocates no event objects.
+
+Sampling methodologies still hook in through :class:`EngineListener`:
+:meth:`DetailedEngine.attach` subscribes a listener's overridden hooks
+to the bus for the duration of :meth:`DetailedEngine.run` (the
+compatibility shim).  Listeners observe warp dispatch/retire and
+basic-block completion events and may call
+:meth:`DetailedEngine.request_stop` to halt dispatch of further
 workgroups — the engine then drains resident warps and reports the state
 needed to continue with a fast model (undispatched warps, per-CU slot
 release times).
+
+Attach-order contract: listeners (and any direct bus subscribers) are
+delivered every event in subscription order, and :meth:`attach`
+subscribes hooks in attach order — so two listeners attached to the
+same engine observe byte-identical event sequences, and a listener
+attached first always sees an event before one attached later.
+Attaching the same listener twice is a :class:`~repro.errors.ConfigError`.
 """
 
 from __future__ import annotations
@@ -24,6 +41,19 @@ from ..errors import ConfigError, SimulationStalled, TimingError
 from ..functional.kernel import Kernel
 from ..functional.trace import WarpTrace
 from ..isa.opcodes import OpClass
+from ..obs import (
+    ENGINE_BARRIER,
+    ENGINE_BB,
+    ENGINE_INST,
+    ENGINE_KERNEL,
+    ENGINE_STALL,
+    ENGINE_WAITCNT,
+    ENGINE_WARP_DISPATCH,
+    ENGINE_WARP_RETIRE,
+    ENGINE_WG_DISPATCH,
+    EventBus,
+    current_bus,
+)
 from ..reliability.watchdog import WatchdogConfig
 from .caches import MemoryHierarchy
 
@@ -48,7 +78,14 @@ _IS_SCALAR_PORT = [cls in _SCALAR_PORT_CLASSES for cls in range(9)]
 
 
 class EngineListener:
-    """Observer interface for sampling methodologies.  All hooks no-op."""
+    """Observer interface for sampling methodologies.  All hooks no-op.
+
+    Listeners are legacy-compatible bus subscribers: when attached, each
+    hook a subclass actually overrides is subscribed to the matching
+    :mod:`repro.obs` channel (``engine.warp_dispatch``, ``engine.bb``,
+    ``engine.warp_retire``) for the duration of the run.  Hooks left as
+    the base no-ops are never subscribed, so they cost nothing.
+    """
 
     def bind(self, engine: "DetailedEngine") -> None:
         """Called when attached; gives access to :meth:`request_stop`."""
@@ -139,6 +176,7 @@ class DetailedEngine:
         collect_latency: bool = False,
         start_time: float = 0.0,
         watchdog: Optional[WatchdogConfig] = None,
+        bus: Optional[EventBus] = None,
     ):
         if kernel.wg_size > config.max_warps_per_cu:
             raise ConfigError(
@@ -158,6 +196,7 @@ class DetailedEngine:
         self.collect_latency = collect_latency
         self.start_time = start_time
         self.watchdog = watchdog
+        self.bus = bus if bus is not None else current_bus()
         self._listeners: List[EngineListener] = []
         self._stop_requested = False
         self._abort_requested = False
@@ -168,9 +207,37 @@ class DetailedEngine:
         self._wg_next = 0
 
     def attach(self, listener: EngineListener) -> None:
-        """Attach a sampling listener before :meth:`run`."""
+        """Attach a sampling listener before :meth:`run`.
+
+        ``bind`` is called exactly once, here; during :meth:`run` the
+        listener's overridden hooks are subscribed to the engine's bus
+        in attach order, which fixes event-delivery order: listeners
+        attached earlier see every event before listeners attached
+        later.  Attaching the same listener twice raises
+        :class:`~repro.errors.ConfigError` (it would double-deliver
+        every event).
+        """
+        if any(existing is listener for existing in self._listeners):
+            raise ConfigError(
+                f"listener {listener!r} is already attached")
         listener.bind(self)
         self._listeners.append(listener)
+
+    def _shim_subscriptions(self) -> List[Tuple[object, Callable]]:
+        """(event type, handler) pairs for every overridden hook, in
+        attach order — the EngineListener compatibility shim."""
+        base = EngineListener
+        subs: List[Tuple[object, Callable]] = []
+        for listener in self._listeners:
+            cls = type(listener)
+            if cls.on_warp_dispatched is not base.on_warp_dispatched:
+                subs.append((ENGINE_WARP_DISPATCH,
+                             listener.on_warp_dispatched))
+            if cls.on_bb_complete is not base.on_bb_complete:
+                subs.append((ENGINE_BB, listener.on_bb_complete))
+            if cls.on_warp_retired is not base.on_warp_retired:
+                subs.append((ENGINE_WARP_RETIRE, listener.on_warp_retired))
+        return subs
 
     def request_stop(self) -> None:
         """Stop dispatching further workgroups (resident warps drain).
@@ -213,6 +280,23 @@ class DetailedEngine:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> EngineResult:
+        """Run the kernel; returns the (possibly stopped-early) result.
+
+        Legacy listeners are subscribed to the engine's bus for the
+        duration of the run (the :class:`EngineListener` shim) and
+        detached afterwards, even on error.
+        """
+        bus = self.bus
+        shims = self._shim_subscriptions()
+        for etype, fn in shims:
+            bus.subscribe(etype, fn)
+        try:
+            return self._run()
+        finally:
+            for etype, fn in shims:
+                bus.unsubscribe(etype, fn)
+
+    def _run(self) -> EngineResult:
         kernel = self.kernel
         config = self.config
         hierarchy = self.hierarchy
@@ -249,7 +333,18 @@ class DetailedEngine:
         bucket = self.ipc_bucket
         lat_sum: Dict[int, float] = {}
         lat_cnt: Dict[int, int] = {}
-        listeners = self._listeners
+        # hot-loop views of the bus: each channel's subscriber list is
+        # hoisted once; with nothing attached every potential event is a
+        # single falsy check and allocates nothing (the detached path)
+        bus = self.bus
+        wg_subs = bus.channel(ENGINE_WG_DISPATCH).subscribers
+        dispatch_subs = bus.channel(ENGINE_WARP_DISPATCH).subscribers
+        bb_subs = bus.channel(ENGINE_BB).subscribers
+        retire_subs = bus.channel(ENGINE_WARP_RETIRE).subscribers
+        barrier_subs = bus.channel(ENGINE_BARRIER).subscribers
+        waitcnt_subs = bus.channel(ENGINE_WAITCNT).subscribers
+        stall_subs = bus.channel(ENGINE_STALL).subscribers
+        inst_subs = bus.channel(ENGINE_INST).subscribers
         resident = self._resident
 
         def dispatch_wg(cu: int, time: float) -> bool:
@@ -261,6 +356,9 @@ class DetailedEngine:
                 return False
             free_slots[cu] -= len(warps)
             self._wg_next += 1
+            if wg_subs:
+                for fn in wg_subs:
+                    fn(wg_id, cu, time, len(warps))
             for warp_id in warps:
                 trace = self.trace_provider(warp_id)
                 simd = slot_cursor[cu] % simd_per_cu
@@ -269,8 +367,9 @@ class DetailedEngine:
                 resident.add(run)
                 heapq.heappush(heap, (time, self._seq, run))
                 self._seq += 1
-                for listener in listeners:
-                    listener.on_warp_dispatched(warp_id, time)
+                if dispatch_subs:
+                    for fn in dispatch_subs:
+                        fn(warp_id, time)
             return True
 
         # initial dispatch: fill CUs round-robin until nothing more fits;
@@ -289,7 +388,7 @@ class DetailedEngine:
         heappush = heapq.heappush
         heappop = heapq.heappop
         is_scalar_port = _IS_SCALAR_PORT
-        has_listeners = bool(listeners)
+        has_bb = bool(bb_subs)
         wd = None
         if self.watchdog is not None:
             wd = self.watchdog.for_engine(
@@ -328,18 +427,23 @@ class DetailedEngine:
                 port_free = scalar_busy[cu]
                 issue = port_free if port_free > t else t
                 scalar_busy[cu] = issue + issue_interval
+                if stall_subs and issue > t:
+                    for fn in stall_subs:
+                        fn(w.warp_id, t, issue - t, "scalar")
             else:
                 ports = simd_busy[cu]
                 port_free = ports[w.simd]
                 issue = port_free if port_free > t else t
                 ports[w.simd] = issue + issue_interval
+                if stall_subs and issue > t:
+                    for fn in stall_subs:
+                        fn(w.warp_id, t, issue - t, "simd")
 
-            # basic-block boundary bookkeeping (only sampling needs it)
-            if has_listeners and i == w.next_bb_at:
+            # basic-block boundary bookkeeping (only bb subscribers pay)
+            if has_bb and i == w.next_bb_at:
                 if w.cur_bb_pc >= 0:
-                    for listener in listeners:
-                        listener.on_bb_complete(
-                            w.warp_id, w.cur_bb_pc, w.cur_bb_start, issue)
+                    for fn in bb_subs:
+                        fn(w.warp_id, w.cur_bb_pc, w.cur_bb_start, issue)
                 ptr = w.bb_ptr
                 w.cur_bb_pc = w.bb_pcs[ptr]
                 w.cur_bb_start = issue
@@ -368,17 +472,26 @@ class DetailedEngine:
                 retire = issue + lat_lds
             elif opclass == _CLS_BRANCH or opclass == _CLS_WAITCNT:
                 retire = issue + lat_branch
+                if waitcnt_subs and opclass == _CLS_WAITCNT:
+                    for fn in waitcnt_subs:
+                        fn(w.warp_id, issue)
             elif opclass == _CLS_BARRIER:
                 state = barrier_state.setdefault(w.wg_id, [0, 0.0, []])
                 state[0] += 1
                 if issue > state[1]:
                     state[1] = issue
                 n_insts += 1
+                if inst_subs:
+                    for fn in inst_subs:
+                        fn(w.warp_id, opclass, issue, issue)
                 if state[0] < wg_sizes[w.wg_id]:
                     state[2].append(w)
                     continue  # parked; released by the last arrival
                 release = state[1] + 1
                 del barrier_state[w.wg_id]
+                if barrier_subs:
+                    for fn in barrier_subs:
+                        fn(w.wg_id, release, wg_sizes[w.wg_id])
                 if bucket is not None:
                     idx = int(release // bucket)
                     for _ in state[2] + [w]:
@@ -397,20 +510,21 @@ class DetailedEngine:
                 retire = issue
                 w.retires[i] = retire
                 n_insts += 1
+                if inst_subs:
+                    for fn in inst_subs:
+                        fn(w.warp_id, opclass, issue, retire)
                 if bucket is not None:
                     _bump(ipc_series, int(retire // bucket))
                 result.warp_times[w.warp_id] = (w.dispatch_time, retire)
                 if retire > end_time:
                     end_time = retire
-                if has_listeners:
-                    if w.cur_bb_pc >= 0:
-                        for listener in listeners:
-                            listener.on_bb_complete(
-                                w.warp_id, w.cur_bb_pc, w.cur_bb_start,
-                                retire)
-                    for listener in listeners:
-                        listener.on_warp_retired(w.warp_id, w.dispatch_time,
-                                                 retire)
+                if has_bb and w.cur_bb_pc >= 0:
+                    for fn in bb_subs:
+                        fn(w.warp_id, w.cur_bb_pc, w.cur_bb_start,
+                           retire)
+                if retire_subs:
+                    for fn in retire_subs:
+                        fn(w.warp_id, w.dispatch_time, retire)
                 free_slots[cu] += 1
                 resident.discard(w)
                 if w.in_stop_snapshot:
@@ -424,6 +538,9 @@ class DetailedEngine:
 
             w.retires[i] = retire
             n_insts += 1
+            if inst_subs:
+                for fn in inst_subs:
+                    fn(w.warp_id, opclass, issue, retire)
             if bucket is not None:
                 _bump(ipc_series, int(retire // bucket))
             if collect_latency:
@@ -462,6 +579,10 @@ class DetailedEngine:
                 code: lat_sum[code] / lat_cnt[code] for code in lat_sum
             }
         result.mem_stats = self.hierarchy.stats()
+        bus.emit(ENGINE_KERNEL, kernel.name, self.start_time,
+                 result.end_time, n_insts, result.stopped)
+        bus.metrics.counter("engine.runs").inc()
+        bus.metrics.counter("engine.insts").inc(n_insts)
         self._result = None
         self._resident = set()
         return result

@@ -33,12 +33,16 @@ class BBProbe(EngineListener):
         self.records.setdefault(bb_pc, []).append((start, end))
 
     def dominating_pc(self) -> int:
-        """PC of the block with the largest total execution time."""
+        """PC of the block with the largest total execution time.
+
+        Ties break toward the smallest pc so the answer never depends
+        on dict insertion (i.e. retirement) order.
+        """
         if not self.records:
             raise ValueError("no basic blocks recorded")
-        return max(
+        return min(
             self.records,
-            key=lambda pc: sum(e - s for s, e in self.records[pc]),
+            key=lambda pc: (-sum(e - s for s, e in self.records[pc]), pc),
         )
 
     def exec_times(self, bb_pc: int) -> List[float]:

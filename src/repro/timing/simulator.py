@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..config.gpu_configs import GpuConfig
 from ..functional.kernel import Application, Kernel
+from ..obs import EventBus
 from ..reliability.ledger import FallbackEvent
 from ..reliability.watchdog import WatchdogConfig
 from .caches import MemoryHierarchy
@@ -93,11 +94,13 @@ def simulate_kernel_detailed(
     listeners: Optional[List[EngineListener]] = None,
     ipc_bucket: Optional[float] = None,
     watchdog: Optional[WatchdogConfig] = None,
+    bus: Optional[EventBus] = None,
 ) -> KernelResult:
     """Run ``kernel`` fully in detailed mode."""
     start = _time.perf_counter()
     engine = DetailedEngine(kernel, config, hierarchy=hierarchy,
-                            ipc_bucket=ipc_bucket, watchdog=watchdog)
+                            ipc_bucket=ipc_bucket, watchdog=watchdog,
+                            bus=bus)
     for listener in listeners or ():
         engine.attach(listener)
     res = engine.run()
@@ -121,6 +124,7 @@ def simulate_app_detailed(
     app: Application,
     config: GpuConfig,
     watchdog: Optional[WatchdogConfig] = None,
+    bus: Optional[EventBus] = None,
 ) -> AppResult:
     """Run every kernel of ``app`` fully in detailed mode (warm caches)."""
     result = AppResult(app_name=app.name, method="full")
@@ -129,6 +133,6 @@ def simulate_app_detailed(
         hierarchy.reset_timing()
         result.kernels.append(
             simulate_kernel_detailed(kernel, config, hierarchy=hierarchy,
-                                     watchdog=watchdog)
+                                     watchdog=watchdog, bus=bus)
         )
     return result

@@ -87,3 +87,37 @@ def test_watchdog_trip_isolated_into_table(capsys):
     out = capsys.readouterr().out
     assert "BudgetExceeded" in out
     assert "status" in out
+
+
+# ------------------------------------------------ trace recording
+
+
+def test_run_trace_then_export(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "run.jsonl"
+    chrome = tmp_path / "run.json"
+    assert main(["run", "relu", "--size", "256",
+                 "--trace", str(trace), "--metrics"]) == 0
+    captured = capsys.readouterr()
+    assert "event engine.kernel" in captured.err
+    assert f"trace written to {trace}" in captured.err
+    lines = [json.loads(line) for line in
+             trace.read_text().splitlines()]
+    assert lines  # full-fidelity stream recorded
+    assert {"engine.kernel", "engine.warp_retire",
+            "engine.inst"} <= {r["kind"] for r in lines}
+
+    assert main(["trace", "export", str(trace), str(chrome)]) == 0
+    captured = capsys.readouterr()
+    assert "wrote" in captured.err
+    doc = json.loads(chrome.read_text())
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"X", "i", "M"} <= phases
+
+
+def test_trace_export_missing_input_one_line_error(capsys, tmp_path):
+    assert main(["trace", "export", str(tmp_path / "nope.jsonl"),
+                 "-"]) == 2
+    err = capsys.readouterr().err
+    assert "ConfigError" in err and err.count("\n") == 1

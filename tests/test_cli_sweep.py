@@ -75,3 +75,50 @@ def test_sweep_jobs_flag_parses_and_runs(capsys):
     data = json.loads(capsys.readouterr().out)
     assert data["telemetry"]["jobs"] == 2
     assert len(data["rows"]) == 2
+
+
+# ------------------------------------------------ observability fields
+
+
+def test_sweep_json_carries_obs_summary(capsys):
+    assert main(["sweep", "relu", "--sizes", "256",
+                 "--methods", "photon", "--json", "-"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    obs = data["obs"]
+    # one event per executed task, mirrored from the telemetry
+    assert obs["events"]["parallel.task"] == 2
+    assert obs["metrics"]["counters"]["sweep.tasks"] >= 2
+    assert "trace" not in obs  # only present when --trace was given
+
+
+def test_sweep_metrics_flag_keeps_stdout_pure(capsys):
+    assert main(["sweep", "relu", "--sizes", "256", "--methods",
+                 "photon", "--json", "-", "--metrics"]) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout is still nothing but the JSON
+    assert "event parallel.task: 2" in captured.err
+
+
+def _det_rows(record):
+    """Rows minus the host-wall fields the contract allows to differ."""
+    varying = ("full_wall", "sampled_wall", "speedup")
+    return [{k: v for k, v in row.items() if k not in varying}
+            for row in record["rows"]]
+
+
+def test_tracing_does_not_perturb_results(capsys, tmp_path):
+    """--trace observes; every simulated quantity stays byte-identical."""
+    plain_path = tmp_path / "plain.json"
+    traced_path = tmp_path / "traced.json"
+    trace = tmp_path / "sweep.jsonl"
+    assert main(["sweep", "relu", "--sizes", "256", "--methods",
+                 "photon", "--json", str(plain_path)]) == 0
+    assert main(["sweep", "relu", "--sizes", "256", "--methods",
+                 "photon", "--json", str(traced_path),
+                 "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    plain = json.loads(plain_path.read_text())
+    traced = json.loads(traced_path.read_text())
+    assert _det_rows(plain) == _det_rows(traced)
+    assert traced["obs"]["trace"] == str(trace)
+    assert trace.read_text().strip()  # the trace itself is non-empty

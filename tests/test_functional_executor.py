@@ -227,3 +227,37 @@ def test_store_flag_marked():
     stores = [i for i, st in enumerate(trace.is_store) if st]
     assert len(stores) == 1
     assert trace.opclass[stores[0]] == int(OpClass.VECTOR_MEM)
+
+
+# ------------------------------------------ shared operand reader
+
+
+def test_operand_reader_full_mode_reads_both_files():
+    from repro.functional.executor import make_operand_reader
+
+    sregs = {3: 7.0}
+    vregs = {1: np.arange(4.0)}
+    val = make_operand_reader(sregs, vregs)
+    assert val(("s", 3)) == 7.0
+    assert np.array_equal(val(("v", 1)), np.arange(4.0))
+    assert val(("i", 2.5)) == 2.5
+
+
+def test_operand_reader_control_mode_is_scalar_only():
+    from repro.functional.executor import make_operand_reader
+
+    val = make_operand_reader({0: 1.0, 5: 2.0})
+    assert val(("s", 5)) == 2.0
+    assert val(("i", 9)) == 9
+    with pytest.raises(ExecutionError, match="scalar-only"):
+        val(("v", 0))
+
+
+def test_operand_reader_backs_both_run_modes():
+    """The shared closure yields identical scalar paths in both modes."""
+    kernel = make_loop_kernel(n_warps=2, trips_of=lambda w: 3)
+    full = FunctionalExecutor(kernel).run_warp_full(0)
+    control = FunctionalExecutor(
+        make_loop_kernel(n_warps=2, trips_of=lambda w: 3)
+    ).run_warp_control(0)
+    assert [pc for pc, _ in full.bb_seq] == control.bb_seq

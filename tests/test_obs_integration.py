@@ -1,0 +1,268 @@
+"""Every layer emits through the bus: engine, executor, detectors,
+reliability, and the sweep scheduler, observed end to end.
+
+Also covers the legacy-listener compatibility contract: an
+``EngineListener`` attached with :meth:`DetailedEngine.attach` and a
+plain function subscribed to the corresponding bus channel must observe
+identical event sequences.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Photon
+from repro.errors import BudgetExceeded, InjectedFault
+from repro.functional import FunctionalExecutor
+from repro.obs import (
+    DETECTOR_SWITCH,
+    ENGINE_BB,
+    ENGINE_INST,
+    ENGINE_KERNEL,
+    ENGINE_WARP_RETIRE,
+    EXEC_WARP,
+    PARALLEL_TASK,
+    EventBus,
+    MemorySink,
+    scoped_bus,
+)
+from repro.parallel import plan_sweep, run_sweep
+from repro.reliability import FaultPlan, FaultSpec, WatchdogConfig
+from repro.timing import BBProbe, DetailedEngine, WarpProbe
+
+from conftest import make_barrier_kernel, make_loop_kernel, make_vecadd
+
+# ------------------------------------------------------------ engine
+
+
+def test_engine_emits_full_event_stream(tiny_gpu):
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink())
+    kernel = make_barrier_kernel(n_warps=8, wg_size=4)
+    engine = DetailedEngine(kernel, tiny_gpu, bus=bus)
+    res = engine.run()
+    kinds = sink.kinds()
+    assert kinds["engine.kernel"] == 1
+    assert kinds["engine.warp_retire"] == 8
+    assert kinds["engine.warp_dispatch"] == 8
+    assert kinds["engine.wg_dispatch"] == 2
+    assert kinds["engine.barrier"] == 2
+    assert kinds["engine.bb"] == 8 * 2  # the barrier splits 2 blocks
+    # one inst event per dynamic instruction
+    assert kinds["engine.inst"] == res.n_insts
+    summary = sink.of_kind("engine.kernel")[0]
+    assert summary.fields["kernel"] == "barriered"
+    assert summary.fields["t1"] == res.end_time
+    assert summary.fields["n_insts"] == res.n_insts
+    assert summary.fields["stopped"] is False
+    # the stream is recorded in emission order: monotone seq
+    seqs = [e.seq for e in sink.events]
+    assert seqs == sorted(seqs)
+
+
+def test_engine_detached_run_leaves_bus_silent(tiny_gpu):
+    bus = EventBus()
+    engine = DetailedEngine(make_vecadd(n_warps=8), tiny_gpu, bus=bus)
+    engine.run()
+    sink = bus.add_sink(MemorySink())
+    assert sink.events == []  # nothing buffered, nothing replayed
+
+
+def test_engine_waitcnt_events(tiny_gpu):
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink(), kinds=["engine.waitcnt"])
+    kernel = make_vecadd(n_warps=8)  # one s_waitcnt per warp
+    engine = DetailedEngine(kernel, tiny_gpu, bus=bus)
+    engine.run()
+    assert len(sink.events) == 8
+    warps = sorted(e.fields["warp"] for e in sink.events)
+    assert warps == list(range(8))
+
+
+def test_legacy_listener_and_subscriber_see_identical_sequences(
+        tiny_gpu):
+    bus = EventBus()
+    direct = []
+    bus.subscribe(ENGINE_BB,
+                  lambda *args: direct.append(("bb", *args)))
+    bus.subscribe(ENGINE_WARP_RETIRE,
+                  lambda *args: direct.append(("retire", *args)))
+    probe = BBProbe()
+    warp_probe = WarpProbe()
+    kernel = make_loop_kernel(n_warps=8, trips_of=lambda w: 4)
+    engine = DetailedEngine(kernel, tiny_gpu, bus=bus)
+    engine.attach(probe)
+    engine.attach(warp_probe)
+    engine.run()
+    bb_stream = [e[1:] for e in direct if e[0] == "bb"]
+    # per-pc bb streams match exactly, in delivery order
+    for pc, times in probe.records.items():
+        assert [(t0, t1) for _, p, t0, t1 in bb_stream
+                if p == pc] == times
+    assert sum(len(t) for t in probe.records.values()) == len(bb_stream)
+    # the retire stream matches the legacy probe tuple for tuple
+    assert [(w, d, r) for _, w, d, r in
+            (e for e in direct if e[0] == "retire")] == warp_probe.times
+
+
+def test_listener_shim_unsubscribes_after_run(tiny_gpu):
+    bus = EventBus()
+    probe = BBProbe()
+    engine = DetailedEngine(make_vecadd(n_warps=4), tiny_gpu, bus=bus)
+    engine.attach(probe)
+    engine.run()
+    assert not bus.channel(ENGINE_BB).active
+    assert not bus.channel(ENGINE_WARP_RETIRE).active
+
+
+def test_per_instruction_stream_only_when_subscribed(tiny_gpu):
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink(), kinds=[ENGINE_INST.name])
+    kernel = make_vecadd(n_warps=4)
+    engine = DetailedEngine(kernel, tiny_gpu, bus=bus)
+    res = engine.run()
+    assert len(sink.events) == res.n_insts
+    for event in sink.events:
+        assert event.fields["t1"] >= event.fields["t0"] >= 0
+
+
+# ------------------------------------------------------------ executor
+
+
+def test_executor_emits_warp_events(tiny_gpu):
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink(), kinds=[EXEC_WARP.name])
+    kernel = make_loop_kernel(n_warps=4, trips_of=lambda w: 3)
+    executor = FunctionalExecutor(kernel, bus=bus)
+    full = executor.run_warp_full(0)
+    control = executor.run_warp_control(1)
+    assert [e.fields["mode"] for e in sink.events] == ["full", "control"]
+    assert sink.events[0].fields["n_insts"] == full.n_insts
+    assert sink.events[1].fields["n_insts"] == control.n_insts
+    for event in sink.events:
+        assert event.fields["wall"] >= 0.0
+
+
+# ------------------------------------------------------------ detectors
+
+
+def test_detector_switch_event(tiny_gpu, fast_photon_config):
+    from repro.core import BBVProjector, analyze_kernel
+    from repro.core.detectors import WarpSamplingDetector
+
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink(), kinds=[DETECTOR_SWITCH.name])
+    kernel = make_loop_kernel(n_warps=700, trips_of=lambda w: 6)
+    analysis = analyze_kernel(kernel, fast_photon_config,
+                              BBVProjector(fast_photon_config.bbv_dim))
+    detector = WarpSamplingDetector(analysis, fast_photon_config)
+    engine = DetailedEngine(kernel, tiny_gpu, bus=bus)
+    engine.attach(detector)
+    engine.run()
+    assert detector.switched
+    assert len(sink.events) == 1
+    switch = sink.events[0]
+    assert switch.fields["level"] == "warp"
+    assert switch.fields["kernel"] == "loopy"
+    assert switch.fields["t"] == detector.switch_time
+    assert bus.metrics.counter("detector.warp_switches").value == 1
+
+
+# ------------------------------------------------------------ reliability
+
+
+def test_watchdog_trip_emits_event():
+    with scoped_bus() as bus:
+        sink = bus.add_sink(MemorySink())
+        dog = WatchdogConfig(max_events=5).for_engine("engine:test")
+        dog.tick(5)
+        with pytest.raises(BudgetExceeded):
+            dog.tick(1)
+        assert [e.kind for e in sink.events] == ["reliability.watchdog"]
+        trip = sink.events[0]
+        assert trip.fields == {"label": "engine:test", "unit": "events",
+                               "ticks": 6, "reason": "budget"}
+        assert bus.metrics.counter("watchdog.trips").value == 1
+
+
+def test_fault_fire_emits_event():
+    with scoped_bus() as bus:
+        sink = bus.add_sink(MemorySink())
+        plan = FaultPlan(FaultSpec(site="level.bb"))
+        with pytest.raises(InjectedFault):
+            plan.arm("level.bb", kernel="k1", level="bb")
+        assert [e.kind for e in sink.events] == ["reliability.fault"]
+        assert sink.events[0].fields == {"site": "level.bb",
+                                         "error": "InjectedFault",
+                                         "kernel": "k1"}
+
+
+def test_degradation_mirrors_ledger_on_bus(tiny_gpu, fast_photon_config):
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink())
+    plan = FaultPlan(FaultSpec(site="level.warp"))
+    photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan,
+                    bus=bus)
+    kernel = make_loop_kernel(n_warps=700, trips_of=lambda w: 6)
+    result = photon.simulate_kernel(kernel)
+    assert result.degraded
+    fallbacks = sink.of_kind("reliability.fallback")
+    assert [(e.fields["from_level"], e.fields["to_level"])
+            for e in fallbacks] == [
+        (ev.from_level, ev.to_level) for ev in result.errors]
+    # the injected fault that caused the fallback is interleaved before
+    faults = sink.of_kind("reliability.fault")
+    assert faults == []  # plan events go to the *default* bus
+    assert bus.metrics.counter("photon.fallbacks").value == len(
+        result.errors)
+
+
+def test_full_photon_run_under_scoped_bus(tiny_gpu, fast_photon_config):
+    """One scoped bus observes engine, detector, fault and fallback."""
+    with scoped_bus() as bus:
+        sink = bus.add_sink(MemorySink())
+        plan = FaultPlan(FaultSpec(site="level.warp"))
+        photon = Photon(tiny_gpu, fast_photon_config, fault_plan=plan)
+        kernel = make_loop_kernel(n_warps=700, trips_of=lambda w: 6)
+        result = photon.simulate_kernel(kernel)
+        kinds = sink.kinds()
+        assert kinds["reliability.fault"] == 1
+        assert kinds["reliability.fallback"] == len(result.errors) >= 1
+        assert kinds["engine.kernel"] >= 2  # failed attempt + retry
+        assert kinds["detector.switch"] >= 1
+        # stream order: the fault precedes the fallback it caused
+        order = [e.kind for e in sink.events]
+        assert (order.index("reliability.fault")
+                < order.index("reliability.fallback"))
+
+
+# ------------------------------------------------------------ parallel
+
+
+def test_sweep_emits_task_events(tiny_gpu):
+    with scoped_bus() as bus:
+        sink = bus.add_sink(MemorySink(), kinds=[PARALLEL_TASK.name])
+        tasks = plan_sweep(["relu"], sizes=(256,), methods=("photon",))
+        result = run_sweep(tasks, jobs=1)
+        assert len(sink.events) == len(tasks)
+        by_index = [e.fields["index"] for e in sink.events]
+        assert by_index == [t.index for t in tasks]
+        for event, telemetry in zip(sink.events, result.report.tasks):
+            assert event.fields["workload"] == telemetry.workload
+            assert event.fields["method"] == telemetry.method
+            assert event.fields["status"] == telemetry.status
+            assert (event.fields["t1"] - event.fields["t0"]
+                    == pytest.approx(telemetry.task_wall))
+        assert bus.metrics.counter("sweep.tasks").value == len(tasks)
+
+
+def test_parallel_sweep_keeps_parent_trace_clean(tiny_gpu):
+    """Pool workers must not write into the parent's sinks."""
+    with scoped_bus() as bus:
+        sink = bus.add_sink(MemorySink())
+        tasks = plan_sweep(["relu"], sizes=(256,), methods=("photon",))
+        run_sweep(tasks, jobs=2)
+        # only the parent-side re-emitted task events appear — no
+        # engine/executor noise leaked across process boundaries
+        assert set(sink.kinds()) == {"parallel.task"}
+        assert len(sink.events) == len(tasks)

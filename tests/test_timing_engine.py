@@ -197,3 +197,56 @@ def test_cp_dispatch_staggering(tiny_gpu):
     dispatch_times = sorted(d for d, _ in res.warp_times.values())
     assert dispatch_times[0] == 0.0
     assert dispatch_times[-1] > 0.0  # staggered, not all at cycle 0
+
+
+# ------------------------------------------------ listener semantics
+
+
+class _Recorder(EngineListener):
+    """Records every hook invocation as a tuple, in delivery order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_warp_dispatched(self, warp_id, t):
+        self.events.append(("dispatch", warp_id, t))
+
+    def on_bb_complete(self, warp_id, bb_pc, start, end):
+        self.events.append(("bb", warp_id, bb_pc, start, end))
+
+    def on_warp_retired(self, warp_id, dispatch, retire):
+        self.events.append(("retire", warp_id, dispatch, retire))
+
+
+def test_two_listeners_observe_identical_sequences(tiny_gpu):
+    """The attach-order contract: every listener sees the same stream."""
+    kernel = make_loop_kernel(n_warps=8, trips_of=lambda w: 3)
+    first, second = _Recorder(), _Recorder()
+    engine = DetailedEngine(kernel, tiny_gpu)
+    engine.attach(first)
+    engine.attach(second)
+    engine.run()
+    assert first.events
+    assert first.events == second.events
+    assert {e[0] for e in first.events} == {"dispatch", "bb", "retire"}
+
+
+def test_duplicate_attach_rejected(tiny_gpu):
+    engine = DetailedEngine(make_vecadd(n_warps=4), tiny_gpu)
+    probe = BBProbe()
+    engine.attach(probe)
+    with pytest.raises(ConfigError, match="already attached"):
+        engine.attach(probe)
+
+
+def test_listener_sequences_repeat_across_runs(tiny_gpu):
+    """Fresh engine, same kernel: the delivered stream is identical."""
+    streams = []
+    for _ in range(2):
+        kernel = make_loop_kernel(n_warps=8, trips_of=lambda w: 3)
+        recorder = _Recorder()
+        engine = DetailedEngine(kernel, tiny_gpu)
+        engine.attach(recorder)
+        engine.run()
+        streams.append(recorder.events)
+    assert streams[0] == streams[1]

@@ -46,3 +46,47 @@ def test_warp_probe_ordering(tiny_gpu):
     retires = [r for _, _, r in probe.times]
     assert retires == sorted(retires)  # recorded in retirement order
     assert {w for w, _, _ in probe.times} == set(range(12))
+
+
+# -------------------------------------------------- ipc edge cases
+
+
+def test_ipc_over_time_empty_series():
+    assert ipc_over_time([], bucket=100.0) == []
+
+
+def test_ipc_over_time_bucket_larger_than_run():
+    # a run shorter than one bucket yields a single midpoint sample
+    points = ipc_over_time([37], bucket=1000.0)
+    assert points == [(500.0, 0.037)]
+
+
+def test_ipc_over_time_final_partial_bucket():
+    # the engine's histogram puts the tail in a final, partially
+    # filled bucket; its midpoint follows the same convention
+    points = ipc_over_time([100, 100, 10], bucket=50.0)
+    assert len(points) == 3
+    assert points[-1] == (125.0, 0.2)
+
+
+# -------------------------------------------------- dominating_pc ties
+
+
+def test_bb_probe_dominating_tie_breaks_to_smallest_pc():
+    probe = BBProbe()
+    probe.records = {0x40: [(0.0, 5.0)], 0x10: [(2.0, 7.0)]}
+    assert probe.dominating_pc() == 0x10
+
+
+def test_bb_probe_dominating_tie_is_insertion_order_independent():
+    first = BBProbe()
+    first.records = {8: [(0.0, 3.0)], 4: [(0.0, 3.0)]}
+    second = BBProbe()
+    second.records = {4: [(0.0, 3.0)], 8: [(0.0, 3.0)]}
+    assert first.dominating_pc() == second.dominating_pc() == 4
+
+
+def test_bb_probe_dominating_still_prefers_larger_total():
+    probe = BBProbe()
+    probe.records = {1: [(0.0, 1.0), (0.0, 1.5)], 2: [(0.0, 3.0)]}
+    assert probe.dominating_pc() == 2
