@@ -21,11 +21,21 @@ gate.
     PYTHONPATH=src python scripts/bench_sweep.py --smoke \
         --max-obs-overhead 0.10                            # overhead gate
 
-Wall-clock speedup requires actual hardware concurrency: on a
-single-core machine the parallel run cannot beat the serial one (the
-same CPU work is just interleaved), so the record carries ``cpu_count``
-and a ``cores_limited`` flag that readers must consult before judging
-the speedup number.
+It finally measures TraceForge warm-start effectiveness: a sweep over
+an emulation-bound workload runs cold (empty trace store — every method
+task pays functional emulation, then persists its traces) and then warm
+(same store — every task replays from disk).  The warm sweep must
+render a byte-identical deterministic comparison table, and
+``--min-warm-speedup X`` gates the cold/warm wall-time ratio.  Unlike
+the parallel speedup, this gate is valid on any core count: replay
+saves CPU work instead of spreading it.
+
+Wall-clock *parallel* speedup, by contrast, requires actual hardware
+concurrency: on a single-core machine the parallel run cannot beat the
+serial one (the same CPU work is just interleaved), so the record
+carries ``cpu_count`` and a ``cores_limited`` flag, and the
+``--min-speedup`` gate is skipped (with an explicit note in the record)
+whenever ``cores_limited`` is true.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 
 from repro import obs
@@ -41,9 +52,20 @@ from repro.harness.defaults import resolve_gpu
 from repro.harness.runner import workload_factory
 from repro.harness.tables import comparison_table
 from repro.parallel import plan_sweep, run_sweep
+from repro.timing import TraceCache, scoped_trace_cache
 from repro.timing.simulator import simulate_kernel_detailed
+from repro.tracestore import TraceStore
 
 DEMO_WORKLOADS = ("relu", "fir", "sc", "spmv")
+
+# The warm-start gate runs a sweep over an emulation-bound workload —
+# one whose cold wall time is dominated by functional emulation, which
+# is exactly the work trace replay removes.  A cold sweep emulates the
+# kernel once per method task (full baseline + each sampling method);
+# the warm sweep replays every one of them from the shared store.
+WARM_SIZES = (512, 1024)
+WARM_SIZES_SMOKE = (512,)
+WARM_WORKLOAD = "aes"
 
 
 def _available_cores() -> int:
@@ -103,6 +125,59 @@ def measure_obs_overhead(size: int = 1024, repeats: int = 3) -> dict:
     }
 
 
+def measure_warm_start(sizes, workload: str = WARM_WORKLOAD,
+                       methods=("pka", "photon"),
+                       repeats: int = 2) -> dict:
+    """Sweep-level cold-vs-warm wall time against one shared trace store.
+
+    The cold sweep starts from an empty store: every method task
+    re-emulates the kernel, and the staged traces are merged into the
+    canonical store afterwards.  The warm sweeps replay those traces.
+    Both must render byte-identical deterministic comparison tables —
+    a warm run that drifts is a bug, and the record flags it
+    (``identical`` false fails the CI gate).  The warm side is measured
+    ``repeats`` times and the minimum kept (same noise damping as
+    :func:`measure_obs_overhead`).
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        root = os.path.join(tmp, "traces")
+
+        def plan():
+            return plan_sweep([workload], sizes=tuple(sizes),
+                              methods=tuple(methods), trace_store=root)
+
+        t0 = time.perf_counter()
+        cold_run = run_sweep(plan(), jobs=1)
+        cold_wall = time.perf_counter() - t0
+        cold_table = comparison_table(cold_run.rows, deterministic=True)
+
+        warm_wall = float("inf")
+        identical = True
+        warm_persisted = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            warm_run = run_sweep(plan(), jobs=1)
+            warm_wall = min(warm_wall, time.perf_counter() - t0)
+            warm_table = comparison_table(warm_run.rows,
+                                          deterministic=True)
+            identical = identical and warm_table == cold_table
+            warm_persisted += warm_run.trace_merge["warps_added"]
+
+    return {
+        "workload": workload,
+        "sizes": list(sizes),
+        "methods": list(methods),
+        "repeats": repeats,
+        "cold_wall": cold_wall,
+        "warm_wall": warm_wall,
+        "speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+        "identical": identical,
+        # cold persists every warp once; a fully warm replay adds none
+        "cold_warps_persisted": cold_run.trace_merge["warps_added"],
+        "warm_warps_persisted": warm_persisted,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4,
@@ -112,7 +187,13 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes and 2 jobs (CI smoke run)")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="exit non-zero if speedup falls below this")
+                        help="exit non-zero if the parallel speedup falls "
+                             "below this (skipped when cores_limited)")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if the TraceForge cold/warm "
+                             "wall ratio falls below X (valid on any "
+                             "core count)")
     parser.add_argument("--max-obs-overhead", type=float, default=None,
                         metavar="R",
                         help="exit non-zero if the core-accounting "
@@ -123,14 +204,16 @@ def main(argv=None) -> int:
     jobs = 2 if args.smoke else args.jobs
     sizes = (256,) if args.smoke else None  # None = quick sizes
     cores = _available_cores()
+    cores_limited = cores < jobs
     tasks = plan_sweep(DEMO_WORKLOADS, sizes=sizes,
                        methods=("pka", "photon"))
     print(f"demo sweep: {len(tasks)} tasks "
           f"({len(tasks) // 3} cells x [full, pka, photon])")
-    if cores < 2:
-        print(f"note: only {cores} CPU core(s) available — wall-clock "
-              f"speedup cannot exceed 1x on this machine; the recorded "
-              f"number measures scheduling overhead, not the engine")
+    if cores_limited:
+        print(f"note: {cores} CPU core(s) < {jobs} jobs — wall-clock "
+              f"parallel speedup is not meaningful on this machine; the "
+              f"recorded number measures scheduling overhead, not the "
+              f"engine, and the --min-speedup gate will be skipped")
 
     t0 = time.perf_counter()
     serial = run_sweep(tasks, jobs=1)
@@ -157,11 +240,22 @@ def main(argv=None) -> int:
           f"full trace {overhead['full_overhead'] * 100.0:+.1f}% "
           f"({overhead['full_events']} events)")
 
+    warm = measure_warm_start(WARM_SIZES_SMOKE if args.smoke
+                              else WARM_SIZES)
+    print(f"warm start ({warm['workload']} sweep, sizes "
+          f"{tuple(warm['sizes'])}): cold {warm['cold_wall']:.2f}s, "
+          f"warm {warm['warm_wall']:.2f}s -> {warm['speedup']:.2f}x, "
+          f"tables {'identical' if warm['identical'] else 'DIFFER'}, "
+          f"{warm['cold_warps_persisted']} warps persisted cold / "
+          f"{warm['warm_warps_persisted']} re-persisted warm")
+
     record = {
         "jobs": jobs,
         "n_tasks": len(tasks),
         "cpu_count": cores,
-        "cores_limited": cores < jobs,
+        "cores_limited": cores_limited,
+        "speedup_gate": ("skipped: cores_limited" if cores_limited
+                         else "enforced"),
         "serial_wall": serial_wall,
         "parallel_wall": parallel_wall,
         "speedup": speedup,
@@ -169,6 +263,7 @@ def main(argv=None) -> int:
         "serial_telemetry": serial.report.to_dict(),
         "parallel_telemetry": parallel.report.to_dict(),
         "obs_overhead": overhead,
+        "warm_start": warm,
         "table": parallel_table,
     }
     with open(args.out, "w") as handle:
@@ -185,8 +280,22 @@ def main(argv=None) -> int:
               f"{overhead['core_overhead'] * 100.0:.1f}% > allowed "
               f"{args.max_obs_overhead * 100.0:.1f}%", file=sys.stderr)
         return 1
+    if not warm["identical"]:
+        print("FAIL: warm trace replay drifted from cold simulated "
+              "cycles", file=sys.stderr)
+        return 1
+    if warm["warm_warps_persisted"] != 0:
+        print(f"FAIL: warm sweep re-persisted "
+              f"{warm['warm_warps_persisted']} warps — the store "
+              f"missed", file=sys.stderr)
+        return 1
+    if (args.min_warm_speedup is not None
+            and warm["speedup"] < args.min_warm_speedup):
+        print(f"FAIL: warm-start speedup {warm['speedup']:.2f}x < "
+              f"required {args.min_warm_speedup:.2f}x", file=sys.stderr)
+        return 1
     if args.min_speedup is not None and speedup < args.min_speedup:
-        if cores < jobs:
+        if cores_limited:
             print(f"skip speedup gate: {cores} core(s) < {jobs} jobs, "
                   f"target {args.min_speedup:.2f}x not reachable here",
                   file=sys.stderr)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the golden trace-store fixture under tests/fixtures/.
+
+The fixture is a checked-in TraceStore bundle holding the FULL-mode
+traces of the shared ``make_vecadd(n_warps=4, wg_size=2)`` test kernel.
+``tests/test_tracestore.py`` replays it against a freshly built kernel,
+so the fixture pins the *on-disk format*: any incompatible change to
+the key derivation or blob layout makes the golden tests fail until
+``FORMAT_VERSION`` is bumped and this script is re-run:
+
+    PYTHONPATH=src:tests python scripts/gen_trace_fixture.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+from conftest import make_vecadd  # noqa: E402
+from repro.functional import FunctionalExecutor  # noqa: E402
+from repro.tracestore import TraceStore  # noqa: E402
+
+FIXTURE_DIR = REPO / "tests" / "fixtures" / "tracestore"
+
+
+def main() -> int:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in FIXTURE_DIR.glob("*.trc"):
+        stale.unlink()
+    kernel = make_vecadd(n_warps=4, wg_size=2)
+    store = TraceStore(FIXTURE_DIR)
+    key = store.key_for(kernel)  # key before emulation mutates memory
+    executor = FunctionalExecutor(kernel)
+    traces = {w: executor.run_warp_full(w) for w in range(kernel.n_warps)}
+    store.put_kernel(kernel, traces, key=key)
+    path = FIXTURE_DIR / key.bundle_name
+    print(f"wrote {path} ({path.stat().st_size} bytes, "
+          f"{len(traces)} warps)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI smoke test for TraceForge warm starts.
+
+Runs the same tiny sweep twice against a throwaway trace store.  The
+cold pass must persist traces; the warm pass must replay every warp
+from disk (zero new warps persisted, visible store hits on the bus)
+and render a byte-identical deterministic comparison table.  Any
+violation exits non-zero, so CI fails loudly if the store silently
+stops matching keys or replay drifts from emulation.
+
+Unlike scripts/bench_sweep.py this checks only *correctness* of the
+warm path, not its speed, so it is safe on the slowest CI runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.tables import comparison_table  # noqa: E402
+from repro.obs import TRACESTORE_HIT, scoped_bus  # noqa: E402
+from repro.parallel import plan_sweep, run_sweep  # noqa: E402
+
+
+def run(workload: str, size: int) -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="warm-smoke-") as tmp:
+        root = Path(tmp) / "traces"
+        plan = lambda: plan_sweep([workload], sizes=(size,),
+                                  methods=("photon",),
+                                  trace_store=str(root))
+
+        cold = run_sweep(plan(), jobs=1)
+        cold_table = comparison_table(cold.rows, deterministic=True)
+        persisted = (cold.trace_merge or {}).get("warps_added", 0)
+        print(f"cold: {persisted} warps persisted")
+        if persisted <= 0:
+            failures.append("cold sweep persisted no traces")
+        if not list(root.glob("*.trc")):
+            failures.append("no bundle files on disk after cold sweep")
+
+        hits = []
+        with scoped_bus() as bus:
+            bus.subscribe(TRACESTORE_HIT,
+                          lambda *ev: hits.append(ev))
+            warm = run_sweep(plan(), jobs=1)
+        warm_table = comparison_table(warm.rows, deterministic=True)
+        re_persisted = (warm.trace_merge or {}).get("warps_added", 0)
+        print(f"warm: {len(hits)} store hits, "
+              f"{re_persisted} warps re-persisted")
+        if not hits:
+            failures.append("warm sweep produced zero store hits")
+        if re_persisted != 0:
+            failures.append(
+                f"warm sweep re-persisted {re_persisted} warps")
+        if warm_table != cold_table:
+            failures.append("warm table differs from cold table")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("warm-start smoke: OK (identical tables, fully warm replay)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="relu")
+    parser.add_argument("--size", type=int, default=256)
+    args = parser.parse_args(argv)
+    return run(args.workload, args.size)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

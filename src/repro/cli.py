@@ -50,6 +50,8 @@ from .harness.runner import (
 from .harness.tables import comparison_table
 from .parallel import plan_sweep, run_sweep
 from .reliability.watchdog import WatchdogConfig
+from .timing.tracecache import TraceCache, scoped_trace_cache
+from .tracestore import TraceStore
 from .workloads import REGISTRY, build_pagerank, build_resnet, build_vgg
 
 APP_BUILDERS = {
@@ -178,7 +180,13 @@ def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
              "(.json → Chrome trace, anything else → JSONL)")
     sub.add_argument(
         "--metrics", action="store_true",
-        help="print the event/counter summary to stderr after the run")
+        help="print the event/counter summary and per-phase wall "
+             "breakdown to stderr after the run")
+    sub.add_argument(
+        "--trace-store", default=None, metavar="DIR", dest="trace_store",
+        help="persistent warp-trace store: replay FULL-mode traces "
+             "from DIR instead of re-emulating, and persist new ones "
+             "for the next run (see docs/tracestore.md)")
 
 
 def _watchdog_from(args: argparse.Namespace) -> Optional[WatchdogConfig]:
@@ -215,6 +223,7 @@ class _ObsSession:
         data: Dict[str, object] = {
             "events": dict(sorted(self.counting.counts.items())),
             "metrics": self.bus.metrics.snapshot(),
+            "phases": self.bus.metrics.phases(),
         }
         if self.trace_path is not None:
             data["trace"] = self.trace_path
@@ -228,6 +237,14 @@ class _ObsSession:
         counters = summary["metrics"]["counters"]
         for name in sorted(counters):
             print(f"counter {name}: {counters[name]}", file=sys.stderr)
+        phases = summary["phases"]
+        total = sum(phases.values())
+        if total > 0:
+            print("-- phase wall breakdown --", file=sys.stderr)
+            for name, seconds in sorted(phases.items()):
+                share = 100.0 * seconds / total
+                print(f"phase {name}: {seconds:.3f}s ({share:.0f}%)",
+                      file=sys.stderr)
         if self.trace_path is not None:
             print(f"trace written to {self.trace_path}", file=sys.stderr)
 
@@ -287,29 +304,36 @@ def _run(args: argparse.Namespace) -> int:
     _validate_methods(args.methods)
     watchdog = _watchdog_from(args)
     obs = _ObsSession(args.trace_out)
+    cache = None
+    if args.trace_store is not None and args.command != "sweep":
+        cache = TraceCache(backing_store=TraceStore(args.trace_store))
     try:
         if args.command == "sweep":
             return _run_sweep(args, watchdog, obs)
         gpu = resolve_gpu(args.gpu)
-        if args.command == "run":
-            rows = run_methods_kernel(
-                workload_factory(args.workload, args.size),
-                args.workload, args.size, gpu=gpu,
-                methods=tuple(args.methods), photon_config=EVAL_PHOTON,
-                watchdog=watchdog)
-            print(comparison_table(rows))
-            return 0
+        with scoped_trace_cache(cache):
+            if args.command == "run":
+                rows = run_methods_kernel(
+                    workload_factory(args.workload, args.size),
+                    args.workload, args.size, gpu=gpu,
+                    methods=tuple(args.methods),
+                    photon_config=EVAL_PHOTON,
+                    watchdog=watchdog)
+                print(comparison_table(rows))
+                return 0
 
-        out = run_methods_app(APP_BUILDERS[args.name], args.name,
-                              gpu=gpu, methods=tuple(args.methods),
-                              photon_config=EVAL_PHOTON,
-                              watchdog=watchdog)
-        print(comparison_table(out["rows"]))
-        for method in args.methods:
-            if method in out:
-                print(f"{method} modes: {out[method].mode_counts()}")
-        return 0
+            out = run_methods_app(APP_BUILDERS[args.name], args.name,
+                                  gpu=gpu, methods=tuple(args.methods),
+                                  photon_config=EVAL_PHOTON,
+                                  watchdog=watchdog)
+            print(comparison_table(out["rows"]))
+            for method in args.methods:
+                if method in out:
+                    print(f"{method} modes: {out[method].mode_counts()}")
+            return 0
     finally:
+        if cache is not None:
+            cache.flush()
         obs.finish()
         if args.metrics:
             obs.print_summary()
@@ -322,7 +346,7 @@ def _run_sweep(args: argparse.Namespace,
         args.workloads, sizes=args.sizes,
         methods=tuple(args.methods), gpu=args.gpu, seed=args.seed,
         photon_config=EVAL_PHOTON, watchdog=watchdog,
-        shard=_parse_shard(args.shard))
+        shard=_parse_shard(args.shard), trace_store=args.trace_store)
     result = run_sweep(tasks, jobs=args.jobs,
                        sweep_deadline=args.sweep_deadline)
     if args.json_out != "-":

@@ -299,6 +299,10 @@ class FunctionalExecutor:
 
     def run_warp_full(self, warp_id: int) -> WarpTrace:
         """Emulate every lane of ``warp_id``; return its detailed trace."""
+        with self.bus.metrics.span("functional"):
+            return self._run_warp_full(warp_id)
+
+    def _run_warp_full(self, warp_id: int) -> WarpTrace:
         kernel = self.kernel
         static = self._static
         warp_size = kernel.warp_size
@@ -561,6 +565,10 @@ class FunctionalExecutor:
         on scalar state, which itself depends only on scalar registers and
         scalar loads — never on vector lane values.
         """
+        with self.bus.metrics.span("functional"):
+            return self._run_warp_control(warp_id)
+
+    def _run_warp_control(self, warp_id: int) -> ControlTrace:
         kernel = self.kernel
         static = self._static
         memory = kernel.memory

@@ -66,6 +66,9 @@ from .events import (
     RELIABILITY_FALLBACK,
     RELIABILITY_FAULT,
     RELIABILITY_WATCHDOG,
+    TRACESTORE_HIT,
+    TRACESTORE_MISS,
+    TRACESTORE_WRITE,
 )
 from .metrics import Counter, MetricsRegistry, Timer
 from .sinks import (
@@ -107,6 +110,9 @@ __all__ = [
     "RELIABILITY_FAULT",
     "RELIABILITY_WATCHDOG",
     "Sink",
+    "TRACESTORE_HIT",
+    "TRACESTORE_MISS",
+    "TRACESTORE_WRITE",
     "Timer",
     "current_bus",
     "open_trace",

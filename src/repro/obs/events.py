@@ -97,6 +97,20 @@ EXEC_WARP = EventType(
     "executor.warp", ("warp", "mode", "n_insts", "wall"),
     "One warp interpreted functionally (mode 'full' or 'control').")
 
+# -- persistent trace store (TraceForge) -----------------------------------
+
+TRACESTORE_HIT = EventType(
+    "tracestore.hit", ("warp", "source"),
+    "A warp trace was served without emulation "
+    "(source 'memory' or 'store').")
+TRACESTORE_MISS = EventType(
+    "tracestore.miss", ("warp",),
+    "A warp trace had to be functionally emulated despite a "
+    "backing store.")
+TRACESTORE_WRITE = EventType(
+    "tracestore.write", ("bundle", "warps", "quarantined"),
+    "A flush persisted newly emulated warp traces to the store.")
+
 # -- Photon detectors ------------------------------------------------------
 
 DETECTOR_SWITCH = EventType(
@@ -130,7 +144,8 @@ ALL_TYPES: Dict[str, EventType] = {
     for t in (
         ENGINE_KERNEL, ENGINE_WG_DISPATCH, ENGINE_WARP_DISPATCH,
         ENGINE_BB, ENGINE_WARP_RETIRE, ENGINE_BARRIER, ENGINE_WAITCNT,
-        ENGINE_STALL, ENGINE_INST, EXEC_WARP, DETECTOR_SWITCH,
+        ENGINE_STALL, ENGINE_INST, EXEC_WARP, TRACESTORE_HIT,
+        TRACESTORE_MISS, TRACESTORE_WRITE, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
         PARALLEL_TASK,
     )
@@ -142,12 +157,14 @@ HOT_KINDS = frozenset((
     ENGINE_INST.name, ENGINE_STALL.name, ENGINE_WAITCNT.name,
     ENGINE_BB.name, ENGINE_WARP_DISPATCH.name, ENGINE_WARP_RETIRE.name,
     ENGINE_WG_DISPATCH.name, ENGINE_BARRIER.name, EXEC_WARP.name,
+    TRACESTORE_HIT.name, TRACESTORE_MISS.name,
 ))
 
 #: cheap summary kinds safe to count on every run
 CORE_KINDS = tuple(
     t.name for t in (
-        ENGINE_KERNEL, DETECTOR_SWITCH, RELIABILITY_FALLBACK,
-        RELIABILITY_FAULT, RELIABILITY_WATCHDOG, PARALLEL_TASK,
+        ENGINE_KERNEL, TRACESTORE_WRITE, DETECTOR_SWITCH,
+        RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
+        PARALLEL_TASK,
     )
 )

@@ -63,12 +63,45 @@ class Timer:
         return self.total / self.count if self.count else 0.0
 
 
+class _Span:
+    """One phase section with *exclusive* wall accounting.
+
+    Entering a span pauses the enclosing span's timer and resumes it on
+    exit, so the per-phase totals partition wall time instead of
+    double-counting nested phases: a trace-store read inside an engine
+    run lands in ``span.trace_io``, not also in ``span.timing``.
+    """
+
+    __slots__ = ("_registry", "_timer")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._timer = registry.timer("span." + name)
+
+    def __enter__(self) -> "_Span":
+        stack = self._registry._span_stack
+        if stack:
+            stack[-1]._timer.stop()
+        stack.append(self)
+        self._timer.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.stop()
+        stack = self._registry._span_stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1]._timer.start()
+
+
 class MetricsRegistry:
     """Lazily-created named counters and timers, one namespace per bus."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
+        self._span_stack: list = []
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -81,6 +114,23 @@ class MetricsRegistry:
         if timer is None:
             timer = self._timers[name] = Timer(name)
         return timer
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one *phase* under ``span.<name>``.
+
+        Unlike a plain :meth:`timer`, nested spans account exclusively:
+        the enclosing phase's clock pauses while an inner phase runs.
+        ``--metrics`` renders all ``span.*`` timers as the per-phase
+        wall breakdown.  The timer's ``count`` is the number of
+        uninterrupted sections, not the number of ``span()`` entries.
+        """
+        return _Span(self, name)
+
+    def phases(self) -> Dict[str, float]:
+        """Exclusive wall seconds per phase (``span.*`` timers only)."""
+        return {name[len("span."):]: t.total
+                for name, t in sorted(self._timers.items())
+                if name.startswith("span.")}
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe dump of every metric, sorted by name."""

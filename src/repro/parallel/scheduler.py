@@ -82,6 +82,7 @@ def plan_sweep(
     watchdog: Optional[WatchdogConfig] = None,
     retry: Optional[RetryPolicy] = None,
     shard: Tuple[int, int] = (0, 1),
+    trace_store: Optional[str] = None,
 ) -> List[SweepTask]:
     """Decompose an evaluation into an ordered, sharded task list.
 
@@ -118,7 +119,8 @@ def plan_sweep(
                         index=len(tasks), workload=workload, size=size,
                         method=method, gpu=gpu, seed=seed,
                         photon=photon_config, pka=pka_config,
-                        watchdog=watchdog, retry=retry))
+                        watchdog=watchdog, retry=retry,
+                        trace_store=trace_store))
             cell_id += 1
     return tasks
 
@@ -134,6 +136,8 @@ class SweepResult:
     report: RunReport
     store_merge: MergeStats = field(default_factory=MergeStats)
     db_merge: MergeStats = field(default_factory=MergeStats)
+    # staged trace-store merge statistics (None when no task used one)
+    trace_merge: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe run record: rows + telemetry + merge statistics.
@@ -146,6 +150,7 @@ class SweepResult:
             "telemetry": self.report.to_dict(),
             "store_merge": self.store_merge.to_dict(),
             "db_merge": self.db_merge.to_dict(),
+            "trace_merge": self.trace_merge,
             "store_entries": len(self.store),
             "kernel_records": (len(self.kernel_db)
                                if self.kernel_db is not None else 0),
@@ -295,6 +300,18 @@ def run_sweep(
 
     rows = rows_from_outcomes(outcomes)
     store, db, store_stats, db_stats = _merge_state(outcomes, on_conflict)
+    trace_merge = None
+    trace_roots = sorted({task.trace_store for task in tasks
+                          if task.trace_store is not None})
+    if trace_roots:
+        from ..tracestore import TraceStore
+
+        trace_merge = {"tasks": 0, "bundles": 0, "warps_added": 0,
+                       "quarantined": 0}
+        for root in trace_roots:
+            part = TraceStore(root).merge_staged()
+            for key in trace_merge:
+                trace_merge[key] += part[key]
     report = RunReport(jobs=jobs, mp_context=ctx_name,
                        total_wall=total_wall)
     bus = current_bus()
@@ -324,7 +341,8 @@ def run_sweep(
     bus.metrics.counter("sweep.tasks").inc(len(outcomes))
     return SweepResult(rows=rows, outcomes=outcomes, store=store,
                        kernel_db=db, report=report,
-                       store_merge=store_stats, db_merge=db_stats)
+                       store_merge=store_stats, db_merge=db_stats,
+                       trace_merge=trace_merge)
 
 
 def _worker_init() -> None:
@@ -334,9 +352,14 @@ def _worker_init() -> None:
     any open file sinks — concurrent writes from several processes
     would interleave garbage into the parent's trace.  Workers observe
     nothing by default; the parent re-emits their telemetry as
-    ``parallel.task`` events after the merge.
+    ``parallel.task`` events after the merge.  The inherited default
+    trace cache is dropped too: each task installs its own staged,
+    store-backed cache from ``SweepTask.trace_store``.
     """
     reset_default_bus()
+    from ..timing.tracecache import set_default_trace_cache
+
+    set_default_trace_cache(None)
 
 
 def _run_pool(tasks: List[SweepTask], jobs: int, ctx_name: str,

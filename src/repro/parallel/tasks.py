@@ -42,6 +42,7 @@ from ..reliability.ledger import FallbackEvent
 from ..reliability.retry import NO_RETRY, RetryPolicy
 from ..reliability.watchdog import WatchdogConfig
 from ..timing.simulator import KernelResult, simulate_kernel_detailed
+from ..timing.tracecache import scoped_trace_cache
 
 #: method name reserved for the full-detailed baseline task of a cell
 FULL_METHOD = "full"
@@ -77,6 +78,10 @@ class SweepTask:
     pka: Optional[PkaConfig] = None
     watchdog: Optional[WatchdogConfig] = None
     retry: RetryPolicy = NO_RETRY
+    # persistent warp-trace store root (None = execution-driven).  The
+    # worker reads the canonical bundles and stages its own writes under
+    # staging/task-<index>; the scheduler merges them in task order.
+    trace_store: Optional[str] = None
 
     @property
     def cell(self) -> Tuple[str, int]:
@@ -98,6 +103,7 @@ class SweepTask:
                          if self.watchdog is not None else None),
             "retry": {"max_attempts": self.retry.max_attempts,
                       "transient": _transient_names(self.retry)},
+            "trace_store": self.trace_store,
         }
 
     @classmethod
@@ -122,6 +128,8 @@ class SweepTask:
             watchdog=(WatchdogConfig(**data["watchdog"])
                       if data.get("watchdog") is not None else None),
             retry=retry,
+            trace_store=(str(data["trace_store"])
+                         if data.get("trace_store") is not None else None),
         )
 
 
@@ -247,13 +255,27 @@ def run_task(task: SweepTask) -> TaskOutcome:
                                task.pka, watchdog=task.watchdog,
                                analysis_store=store, kernel_db=db)
 
+    cache = None
+    if task.trace_store is not None:
+        from ..timing.tracecache import TraceCache
+        from ..tracestore import TraceStore
+
+        staged = TraceStore(task.trace_store).stage(task.index)
+        cache = TraceCache(backing_store=staged)
+
     try:
-        result, out.attempts = task.retry.run_with_attempts(attempt)
+        with scoped_trace_cache(cache):
+            result, out.attempts = task.retry.run_with_attempts(attempt)
     except ReproError as exc:
         out.status, out.stage = "error", "run"
         out.error_class, out.error = type(exc).__name__, str(exc)
         out.task_wall = _time.perf_counter() - t0
         return out
+    finally:
+        if cache is not None:
+            # persist even partial attempts: traces are deterministic,
+            # so anything emulated is worth sharing with later tasks
+            cache.flush()
 
     out.sim_time = result.sim_time
     out.wall_seconds = result.wall_seconds

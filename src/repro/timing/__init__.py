@@ -4,7 +4,12 @@ from .caches import Cache, Dram, MemoryHierarchy
 from .engine import DetailedEngine, EngineListener, EngineResult
 from .fastmodel import FastModelResult, schedule_only
 from .probes import BBProbe, WarpProbe, ipc_over_time
-from .tracecache import TraceCache
+from .tracecache import (
+    TraceCache,
+    current_trace_cache,
+    scoped_trace_cache,
+    set_default_trace_cache,
+)
 from .simulator import (
     AppResult,
     KernelResult,
@@ -25,8 +30,11 @@ __all__ = [
     "MemoryHierarchy",
     "TraceCache",
     "WarpProbe",
+    "current_trace_cache",
     "ipc_over_time",
     "schedule_only",
+    "scoped_trace_cache",
+    "set_default_trace_cache",
     "simulate_app_detailed",
     "simulate_kernel_detailed",
 ]

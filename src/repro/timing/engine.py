@@ -187,10 +187,18 @@ class DetailedEngine:
         self.config = config
         self.hierarchy = hierarchy or MemoryHierarchy(config)
         if trace_provider is None:
-            from ..functional.executor import FunctionalExecutor
+            from .tracecache import current_trace_cache
 
-            executor = FunctionalExecutor(kernel)
-            trace_provider = executor.run_warp_full
+            cache = current_trace_cache()
+            if cache is not None:
+                # a scoped/default TraceCache (possibly store-backed via
+                # --trace-store) serves traces without re-emulation
+                trace_provider = cache.provider(kernel)
+            else:
+                from ..functional.executor import FunctionalExecutor
+
+                executor = FunctionalExecutor(kernel)
+                trace_provider = executor.run_warp_full
         self.trace_provider = trace_provider
         self.ipc_bucket = ipc_bucket
         self.collect_latency = collect_latency
@@ -291,7 +299,8 @@ class DetailedEngine:
         for etype, fn in shims:
             bus.subscribe(etype, fn)
         try:
-            return self._run()
+            with bus.metrics.span("timing"):
+                return self._run()
         finally:
             for etype, fn in shims:
                 bus.unsubscribe(etype, fn)

@@ -114,6 +114,7 @@ def simulate_kernel_detailed(
         detail_insts=res.n_insts,
     )
     result.meta["mem_stats"] = res.mem_stats
+    result.meta["warp_times"] = res.warp_times
     if res.ipc_series is not None:
         result.meta["ipc_series"] = res.ipc_series
         result.meta["ipc_bucket"] = res.ipc_bucket

@@ -1,0 +1,265 @@
+"""On-disk trace format: stable content keys and the binary warp codec.
+
+The persistent store (:mod:`repro.tracestore.store`) is content
+addressed: a bundle of FULL-mode warp traces is keyed by what the
+traces *depend on* — the instruction stream, the initial memory image
+and per-warp kernel arguments, and the grid shape.  Nothing
+microarchitectural enters the key: traces contain opcode classes,
+register dependencies and cache-line numbers, so one bundle serves
+every GPU configuration (the same observation that lets Photon reuse
+its offline analysis across configs, §6.3).
+
+``Program.fingerprint`` cannot key a *disk* store: it is built on
+Python ``hash()``, which is process-randomised for strings and, before
+3.12, undefined for ``None``-bearing tuples across runs.  The digests
+here are sha256 over a canonical text encoding — stable across
+processes, platforms and Python versions.
+
+A warp trace serialises to a little-endian binary blob (section sizes
+up front, then flat numpy arrays).  ``mem_lines`` is ternary per
+instruction — ``None`` (not a memory op), ``()`` (memory op with no
+active lanes), or a tuple of line numbers — and is stored sparsely as
+(instruction index, line count, flat lines) so the common non-memory
+instruction costs nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..functional.kernel import Kernel
+from ..functional.trace import WarpTrace
+from ..isa.opcodes import Imm, OpClass, SReg, VReg
+from ..isa.program import Program
+
+#: bump on any incompatible change to the key derivation or blob layout
+FORMAT_VERSION = 1
+
+#: header magic for bundle files
+FORMAT_NAME = "repro-tracestore"
+
+
+# -- stable content digests -------------------------------------------------
+
+def _operand(op) -> object:
+    if op is None:
+        return None
+    if isinstance(op, SReg):
+        return ("s", op.index)
+    if isinstance(op, VReg):
+        return ("v", op.index)
+    if isinstance(op, Imm):
+        return ("i", repr(op.value))
+    return ("?", repr(op))
+
+
+def program_digest(program: Program) -> str:
+    """sha256 over a canonical encoding of the instruction stream.
+
+    Unlike :attr:`Program.fingerprint` this is stable across processes
+    and Python versions, and it covers operands and addressing (the
+    in-memory fingerprint only hashes opcodes and branch targets).
+    """
+    parts: List[object] = [FORMAT_VERSION, bool(program.split_on_waitcnt)]
+    for inst in program.instructions:
+        mem = inst.mem
+        parts.append((
+            inst.opcode.name,
+            _operand(inst.dst),
+            tuple(_operand(s) for s in inst.srcs),
+            inst.target,
+            None if mem is None else (
+                mem.base.index,
+                None if mem.index is None else mem.index.index,
+                mem.scale,
+                mem.offset,
+            ),
+        ))
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+def kernel_data_digest(kernel: Kernel) -> str:
+    """sha256 over everything *besides* the program that shapes a trace.
+
+    Traces record the dynamic path and the concrete line addresses, so
+    they depend on the initial memory image and the per-warp argument
+    registers.  Two launches of the same program with different input
+    data legitimately get different bundles.
+    """
+    h = hashlib.sha256()
+    mem = kernel.memory
+    h.update(mem._data[: mem._next_free].tobytes())
+    for name in sorted(mem._buffers):
+        base, size = mem._buffers[name]
+        h.update(f"{name}:{base}:{size};".encode("utf-8"))
+    if kernel.args is not None:
+        for warp_id in range(kernel.n_warps):
+            items = sorted(kernel.args(warp_id).items())
+            h.update(repr(items).encode("utf-8"))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Content address of one trace bundle (all warps of one launch)."""
+
+    program: str   # program_digest hex
+    data: str      # kernel_data_digest hex
+    n_warps: int
+    wg_size: int
+    warp_size: int
+
+    @property
+    def bundle_name(self) -> str:
+        return (f"{self.program[:20]}-{self.data[:20]}"
+                f"-g{self.n_warps}x{self.wg_size}w{self.warp_size}.trc")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "data": self.data,
+            "n_warps": self.n_warps,
+            "wg_size": self.wg_size,
+            "warp_size": self.warp_size,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "TraceKey":
+        return cls(program=str(d["program"]), data=str(d["data"]),
+                   n_warps=int(d["n_warps"]), wg_size=int(d["wg_size"]),
+                   warp_size=int(d["warp_size"]))
+
+
+def trace_key(kernel: Kernel) -> TraceKey:
+    """Content address for ``kernel``'s FULL-mode traces.
+
+    Computed against the kernel's *current* memory image: a kernel whose
+    memory has been mutated (for example by a previous execution-driven
+    run applying stores) keys to a different bundle, so stale traces are
+    never replayed against changed data.  Warm runs should rebuild the
+    kernel from its workload factory.
+    """
+    return TraceKey(
+        program=program_digest(kernel.program),
+        data=kernel_data_digest(kernel),
+        n_warps=kernel.n_warps,
+        wg_size=kernel.wg_size,
+        warp_size=kernel.warp_size,
+    )
+
+
+# -- binary warp-trace codec ------------------------------------------------
+
+_COUNTS = struct.Struct("<4I")  # n_insts, n_mem, total_lines, n_bb
+
+# hoisted out of decode_warp_trace: it runs once per warp on the warm path
+_VALID_OPCLASS = frozenset(int(c) for c in OpClass)
+_MAX_OPCLASS = max(_VALID_OPCLASS)
+
+
+class TraceFormatError(ValueError):
+    """A trace blob or bundle failed structural validation."""
+
+
+def encode_warp_trace(trace: WarpTrace) -> bytes:
+    """Serialise one :class:`WarpTrace` to a self-contained binary blob."""
+    n = len(trace.opclass)
+    mem_idx: List[int] = []
+    mem_cnt: List[int] = []
+    mem_vals: List[int] = []
+    for i, rec in enumerate(trace.mem_lines):
+        if rec is None:
+            continue
+        mem_idx.append(i)
+        mem_cnt.append(len(rec))
+        mem_vals.extend(rec)
+    bb_pc = [pc for pc, _ in trace.bb_seq]
+    bb_start = [start for _, start in trace.bb_seq]
+
+    sections = (
+        np.asarray(trace.static_idx, dtype="<i4"),
+        np.asarray(trace.opclass, dtype="<u1"),
+        np.asarray(trace.opcode, dtype="<i4"),
+        np.asarray(trace.dep, dtype="<i4"),
+        np.asarray([1 if s else 0 for s in trace.is_store], dtype="<u1"),
+        np.asarray(mem_idx, dtype="<u4"),
+        np.asarray(mem_cnt, dtype="<u4"),
+        np.asarray(mem_vals, dtype="<i8"),
+        np.asarray(bb_pc, dtype="<i4"),
+        np.asarray(bb_start, dtype="<u4"),
+    )
+    head = _COUNTS.pack(n, len(mem_idx), len(mem_vals), len(bb_pc))
+    return head + b"".join(a.tobytes() for a in sections)
+
+
+def decode_warp_trace(warp_id: int, blob: bytes) -> WarpTrace:
+    """Rebuild a :class:`WarpTrace` from :func:`encode_warp_trace` output.
+
+    Raises :class:`TraceFormatError` on any structural mismatch (the
+    store turns that into a per-entry quarantine, never a failed run).
+    """
+    if len(blob) < _COUNTS.size:
+        raise TraceFormatError("blob shorter than its count header")
+    n, n_mem, total_lines, n_bb = _COUNTS.unpack_from(blob, 0)
+    expected = (_COUNTS.size + n * (4 + 1 + 4 + 4 + 1)
+                + n_mem * 8 + total_lines * 8 + n_bb * 8)
+    if len(blob) != expected:
+        raise TraceFormatError(
+            f"blob length {len(blob)} != expected {expected}")
+
+    off = _COUNTS.size
+
+    def take(dtype: str, count: int) -> np.ndarray:
+        nonlocal off
+        arr = np.frombuffer(blob, dtype=dtype, count=count, offset=off)
+        off += arr.nbytes
+        return arr
+
+    static_idx = take("<i4", n).tolist()
+    opclass_arr = take("<u1", n)
+    opcode = take("<i4", n).tolist()
+    dep = take("<i4", n).tolist()
+    is_store = take("<u1", n).astype(bool).tolist()
+    mem_idx = take("<u4", n_mem).tolist()
+    mem_cnt = take("<u4", n_mem).tolist()
+    mem_vals = take("<i8", total_lines).tolist()
+    bb_pc = take("<i4", n_bb).tolist()
+    bb_start = take("<u4", n_bb).tolist()
+
+    # OpClass values are contiguous from 0, so an unsigned max() check
+    # validates the whole section without a per-element Python loop
+    if n and int(opclass_arr.max()) > _MAX_OPCLASS:
+        raise TraceFormatError(
+            f"unknown opclass value {int(opclass_arr.max())}")
+    opclass = opclass_arr.tolist()
+
+    mem_lines: List[Optional[Tuple[int, ...]]] = [None] * n
+    pos = 0
+    for i, cnt in zip(mem_idx, mem_cnt):
+        if i >= n or pos + cnt > total_lines:
+            raise TraceFormatError("memory-section indices out of range")
+        mem_lines[i] = tuple(mem_vals[pos:pos + cnt])
+        pos += cnt
+    if pos != total_lines:
+        raise TraceFormatError("memory-line section not fully consumed")
+
+    return WarpTrace(
+        warp_id=warp_id,
+        static_idx=static_idx,
+        opclass=opclass,
+        opcode=opcode,
+        dep=dep,
+        mem_lines=mem_lines,
+        is_store=is_store,
+        bb_seq=list(zip(bb_pc, bb_start)),
+    )
+
+
+def blob_checksum(blob: bytes) -> str:
+    """Per-entry integrity checksum (sha256 hex) over one warp blob."""
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,415 @@
+"""Disk-backed, content-addressed store for FULL-mode warp traces.
+
+One *bundle* file holds every cached warp of one kernel launch, named
+by the launch's :class:`~repro.tracestore.format.TraceKey`.  The layout
+is a single JSON header line followed by the concatenated binary warp
+blobs::
+
+    {"format": ..., "version": 1, "key": {...},
+     "entries": [{"warp": 0, "offset": 0, "length": N, "sha256": ...}],
+     "checksum": <sha256 over the canonical header>}\\n
+    <blob><blob>...
+
+The hardening contract matches ``core.persist`` v2:
+
+* **atomic writes** — bundles are written to a temp file in the same
+  directory and ``os.replace``-d into place; readers never see a
+  half-written bundle;
+* **format version** — an unsupported ``version`` quarantines the whole
+  bundle (every entry becomes a miss), it never raises;
+* **sha256 checksums** — the header carries its own checksum and every
+  entry carries one over its blob slice;
+* **per-entry quarantine** — a truncated file or a flipped blob byte
+  loses exactly the affected warps; intact entries still replay.
+
+Corruption is *never* an error at this layer: a bad entry is counted in
+``quarantined`` and treated as a cache miss (the warp is re-emulated
+and the bundle healed on the next flush).
+
+Reads go through a small process-wide decode cache keyed by the sha256
+of the *file contents*: every open still reads and hashes the file (so
+external modification is always detected — no mtime heuristics), but
+entry verification and warp decoding happen once per bundle content per
+process.  A sweep whose tasks share one store decodes each bundle once,
+not once per task.  Decoded traces are shared object graphs — callers
+must treat them as immutable, which the engine already does.
+
+Sweep workers write through :meth:`TraceStore.stage`, which lands
+bundles in ``staging/task-<index>/``; the parent folds staged bundles
+into the canonical root in task order (:meth:`TraceStore.merge_staged`),
+keeping the first-written blob on conflict so merged stores are
+deterministic regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..functional.kernel import Kernel
+from ..functional.trace import WarpTrace
+from .format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    TraceFormatError,
+    TraceKey,
+    blob_checksum,
+    decode_warp_trace,
+    encode_warp_trace,
+    trace_key,
+)
+
+_SUPPORTED_VERSIONS = (FORMAT_VERSION,)
+
+_STAGING_DIR = "staging"
+
+
+def _header_checksum(header: Dict[str, object]) -> str:
+    """Checksum over the canonical header minus its own ``checksum``."""
+    body = {k: v for k, v in header.items() if k != "checksum"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _span(name: str):
+    """Span timer on the current bus (trace I/O shows up in --metrics)."""
+    from ..obs import current_bus
+
+    return current_bus().metrics.span(name)
+
+
+class _BundleData:
+    """Parsed bundle: raw blobs by warp id plus quarantine accounting.
+
+    ``decoded`` memoises :func:`decode_warp_trace` results; it is shared
+    by every view of the same parsed bundle (see ``_DECODE_CACHE``).
+    """
+
+    __slots__ = ("blobs", "quarantined", "header_key", "decoded")
+
+    def __init__(self) -> None:
+        self.blobs: Dict[int, bytes] = {}
+        self.quarantined = 0
+        self.header_key: Optional[TraceKey] = None
+        self.decoded: Dict[int, WarpTrace] = {}
+
+
+#: content hash of a bundle file -> parsed-and-verified _BundleData.
+#: Keyed by sha256 of the raw bytes, so a stale entry can never be
+#: served for changed content; bounded because decoded traces are big.
+_DECODE_CACHE: Dict[str, _BundleData] = {}
+_DECODE_CACHE_MAX = 2
+
+
+def _read_bundle(path: Path, expect_key: Optional[TraceKey]) -> _BundleData:
+    """Read a bundle, quarantining (never raising on) corruption."""
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return _BundleData()
+    return _parse_bundle(raw, expect_key)
+
+
+def _read_bundle_cached(path: Path,
+                        expect_key: Optional[TraceKey]) -> _BundleData:
+    """Like :func:`_read_bundle`, memoised on file *content*.
+
+    The file is always re-read and re-hashed, so on-disk changes are
+    always seen; only the per-entry verification and decode work is
+    reused.  A key mismatch is checked against the cached header key so
+    the wrong-bundle quarantine semantics survive caching.
+    """
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return _BundleData()
+    digest = hashlib.sha256(raw).hexdigest()
+    data = _DECODE_CACHE.get(digest)
+    if data is None:
+        data = _parse_bundle(raw, None)
+        while len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.pop(next(iter(_DECODE_CACHE)))
+        _DECODE_CACHE[digest] = data
+    if expect_key is not None and data.header_key != expect_key:
+        wrong = _BundleData()
+        wrong.quarantined = (len(data.blobs) + data.quarantined) or 1
+        return wrong
+    return data
+
+
+def _parse_bundle(raw: bytes, expect_key: Optional[TraceKey]) -> _BundleData:
+    """Parse bundle bytes, quarantining (never raising on) corruption."""
+    data = _BundleData()
+    newline = raw.find(b"\n")
+    if newline < 0:
+        data.quarantined += 1
+        return data
+    try:
+        header = json.loads(raw[:newline].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        data.quarantined += 1
+        return data
+    entries = header.get("entries")
+    if not isinstance(entries, list):
+        data.quarantined += 1
+        return data
+    if (header.get("format") != FORMAT_NAME
+            or header.get("version") not in _SUPPORTED_VERSIONS
+            or header.get("checksum") != _header_checksum(header)):
+        # unreadable or future-format bundle: every entry is a miss
+        data.quarantined += len(entries) or 1
+        return data
+    try:
+        data.header_key = TraceKey.from_dict(header.get("key", {}))
+    except (KeyError, TypeError, ValueError):
+        data.header_key = None
+    if expect_key is not None and data.header_key != expect_key:
+        data.quarantined += len(entries) or 1
+        return data
+    body = raw[newline + 1:]
+    for entry in entries:
+        try:
+            warp = int(entry["warp"])
+            offset = int(entry["offset"])
+            length = int(entry["length"])
+            digest = str(entry["sha256"])
+        except (KeyError, TypeError, ValueError):
+            data.quarantined += 1
+            continue
+        blob = body[offset:offset + length]
+        if len(blob) != length or blob_checksum(blob) != digest:
+            data.quarantined += 1
+            continue
+        data.blobs[warp] = blob
+    return data
+
+
+def _write_bundle(path: Path, key: TraceKey,
+                  blobs: Dict[int, bytes]) -> None:
+    """Atomically write a bundle (tmp file + ``os.replace``)."""
+    entries: List[Dict[str, object]] = []
+    parts: List[bytes] = []
+    offset = 0
+    for warp in sorted(blobs):
+        blob = blobs[warp]
+        entries.append({
+            "warp": warp,
+            "offset": offset,
+            "length": len(blob),
+            "sha256": blob_checksum(blob),
+        })
+        parts.append(blob)
+        offset += len(blob)
+    header: Dict[str, object] = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "key": key.to_dict(),
+        "entries": entries,
+    }
+    header["checksum"] = _header_checksum(header)
+    payload = (json.dumps(header, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+               + b"\n" + b"".join(parts))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class KernelTraces:
+    """Read view of one kernel's bundle: decode-on-demand warp traces."""
+
+    def __init__(self, key: TraceKey, data: _BundleData, store: "TraceStore"):
+        self.key = key
+        self._blobs = data.blobs
+        self._decoded = data.decoded  # shared with other views; immutable
+        self._store = store
+        self.quarantined = data.quarantined
+
+    @property
+    def n_available(self) -> int:
+        return len(self._blobs)
+
+    def get(self, warp_id: int) -> Optional[WarpTrace]:
+        """Decode the stored trace for ``warp_id`` (None on miss)."""
+        trace = self._decoded.get(warp_id)
+        if trace is not None:
+            return trace
+        blob = self._blobs.get(warp_id)
+        if blob is None:
+            return None
+        try:
+            with _span("trace_io"):
+                trace = decode_warp_trace(warp_id, blob)
+        except TraceFormatError:
+            # checksum passed but the blob is structurally bad (format
+            # drift): quarantine this entry, treat as a miss
+            del self._blobs[warp_id]
+            self.quarantined += 1
+            self._store.quarantined += 1
+            return None
+        self._decoded[warp_id] = trace
+        return trace
+
+
+class TraceStore:
+    """Content-addressed persistent store for warp traces.
+
+    ``root`` is the canonical store directory.  ``write_root`` (used by
+    :meth:`stage`) redirects writes to a staging directory while reads
+    keep hitting the canonical bundles — that is how parallel sweep
+    workers share one store without write races.
+    """
+
+    def __init__(self, root, write_root=None):
+        self.root = Path(root)
+        self.write_root = Path(write_root) if write_root else self.root
+        self.reads = 0
+        self.writes = 0
+        self.quarantined = 0
+
+    # -- keying ------------------------------------------------------------
+
+    def key_for(self, kernel: Kernel) -> TraceKey:
+        with _span("trace_io"):
+            return trace_key(kernel)
+
+    # -- read path ---------------------------------------------------------
+
+    def open_kernel(self, kernel: Kernel,
+                    key: Optional[TraceKey] = None) -> KernelTraces:
+        """Load the bundle for ``kernel`` (empty view when absent)."""
+        if key is None:
+            key = self.key_for(kernel)
+        path = self.root / key.bundle_name
+        with _span("trace_io"):
+            data = (_read_bundle_cached(path, key) if path.exists()
+                    else _BundleData())
+        if data.blobs or data.quarantined:
+            self.reads += 1
+        self.quarantined += data.quarantined
+        return KernelTraces(key, data, self)
+
+    # -- write path --------------------------------------------------------
+
+    def put_kernel(self, kernel: Kernel, traces: Dict[int, WarpTrace],
+                   key: Optional[TraceKey] = None) -> int:
+        """Merge ``traces`` into the bundle for ``kernel``.
+
+        Existing intact entries win on conflict (traces are
+        deterministic, so a conflict is always a byte-identical
+        re-derivation).  Returns the number of newly written warps.
+        """
+        if not traces:
+            return 0
+        if key is None:
+            key = self.key_for(kernel)
+        path = self.write_root / key.bundle_name
+        with _span("trace_io"):
+            existing = (_read_bundle(path, key) if path.exists()
+                        else _BundleData())
+            blobs = dict(existing.blobs)
+            added = 0
+            for warp_id, trace in traces.items():
+                if warp_id in blobs:
+                    continue
+                blobs[warp_id] = encode_warp_trace(trace)
+                added += 1
+            if added or existing.quarantined:
+                _write_bundle(path, key, blobs)
+        if added or existing.quarantined:
+            self.writes += 1
+        return added
+
+    # -- sweep-worker staging ----------------------------------------------
+
+    def stage(self, task_index: int) -> "TraceStore":
+        """A store reading canonical bundles but writing to a staging dir."""
+        staged = self.root / _STAGING_DIR / f"task-{task_index:08d}"
+        return TraceStore(self.root, write_root=staged)
+
+    def _staged_dirs(self) -> Iterator[Tuple[int, Path]]:
+        staging = self.root / _STAGING_DIR
+        if not staging.is_dir():
+            return
+        for entry in sorted(staging.iterdir()):
+            if not entry.is_dir():
+                continue
+            try:
+                index = int(entry.name.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            yield index, entry
+
+    def merge_staged(self) -> Dict[str, int]:
+        """Fold staged worker bundles into the canonical root.
+
+        Staging directories are visited in ascending task order and the
+        first-written blob wins on conflict, so the merged store is
+        byte-deterministic regardless of which worker produced which
+        bundle first.  Staged directories are removed once folded.
+        """
+        stats = {"tasks": 0, "bundles": 0, "warps_added": 0,
+                 "quarantined": 0}
+        for _index, task_dir in self._staged_dirs():
+            stats["tasks"] += 1
+            for staged_path in sorted(task_dir.glob("*.trc")):
+                with _span("trace_io"):
+                    staged = _read_bundle(staged_path, None)
+                stats["quarantined"] += staged.quarantined
+                if not staged.blobs:
+                    continue
+                canonical = self.root / staged_path.name
+                with _span("trace_io"):
+                    current = (_read_bundle(canonical, None)
+                               if canonical.exists() else _BundleData())
+                    merged = dict(current.blobs)
+                    added = 0
+                    for warp_id in sorted(staged.blobs):
+                        if warp_id not in merged:
+                            merged[warp_id] = staged.blobs[warp_id]
+                            added += 1
+                    if added or current.quarantined:
+                        # recover the key from the staged header; it was
+                        # validated against nothing, so re-derive it from
+                        # the staged file's own header line
+                        key = _bundle_key(staged_path)
+                        if key is not None:
+                            _write_bundle(canonical, key, merged)
+                            stats["bundles"] += 1
+                            stats["warps_added"] += added
+                self.quarantined += staged.quarantined
+            shutil.rmtree(task_dir, ignore_errors=True)
+        staging = self.root / _STAGING_DIR
+        if staging.is_dir() and not any(staging.iterdir()):
+            shutil.rmtree(staging, ignore_errors=True)
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TraceStore({str(self.root)!r}, reads={self.reads}, "
+                f"writes={self.writes}, quarantined={self.quarantined})")
+
+
+def _bundle_key(path: Path) -> Optional[TraceKey]:
+    """Extract the TraceKey from a bundle's (already validated) header."""
+    try:
+        with path.open("rb") as handle:
+            line = handle.readline()
+        header = json.loads(line.decode("utf-8"))
+        return TraceKey.from_dict(header["key"])
+    except (OSError, ValueError, KeyError, TypeError, UnicodeDecodeError):
+        return None

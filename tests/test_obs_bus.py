@@ -255,6 +255,32 @@ def test_timer_context_manager():
     assert "phase" in registry.snapshot()["timers"]
 
 
+def test_span_nesting_pauses_enclosing_timer():
+    """Spans account *exclusive* time: entering a nested span pauses the
+    enclosing one, so phase totals sum to wall time without double count."""
+    registry = obs.MetricsRegistry()
+    with registry.span("a"):
+        with registry.span("b"):
+            pass
+        with registry.span("b"):
+            pass
+    # 'a' ran in three uninterrupted sections: before, between, after
+    assert registry.timer("span.a").count == 3
+    assert registry.timer("span.b").count == 2
+    phases = registry.phases()
+    assert set(phases) == {"a", "b"}
+    assert all(total >= 0.0 for total in phases.values())
+
+
+def test_phases_ignores_plain_timers():
+    registry = obs.MetricsRegistry()
+    with registry.span("io"):
+        pass
+    with registry.timer("not_a_phase"):
+        pass
+    assert set(registry.phases()) == {"io"}
+
+
 # ------------------------------------------------------------ chrome export
 
 

@@ -266,3 +266,31 @@ def test_parallel_sweep_keeps_parent_trace_clean(tiny_gpu):
         # engine/executor noise leaked across process boundaries
         assert set(sink.kinds()) == {"parallel.task"}
         assert len(sink.events) == len(tasks)
+
+
+# ------------------------------------------------------------ phase spans
+
+
+def test_metrics_phase_names_are_pinned(tiny_gpu, tmp_path):
+    """``--metrics`` reports these phase names; renaming them breaks
+    every dashboard and CI grep downstream, so the set is pinned here."""
+    from repro.timing import TraceCache, scoped_trace_cache
+    from repro.tracestore import TraceStore
+
+    with scoped_bus() as bus:
+        cache = TraceCache(backing_store=TraceStore(tmp_path))
+        with scoped_trace_cache(cache):
+            DetailedEngine(make_vecadd(n_warps=4), tiny_gpu).run()
+        cache.flush()
+        phases = bus.metrics.phases()
+    assert {"functional", "timing", "trace_io"} <= set(phases)
+    assert phases["functional"] > 0.0
+    assert phases["timing"] > 0.0
+    assert phases["trace_io"] > 0.0
+
+
+def test_exec_driven_run_has_no_trace_io_phase(tiny_gpu):
+    with scoped_bus() as bus:
+        DetailedEngine(make_vecadd(n_warps=4), tiny_gpu).run()
+        phases = bus.metrics.phases()
+    assert set(phases) == {"functional", "timing"}

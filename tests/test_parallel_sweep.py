@@ -200,3 +200,38 @@ def test_sweep_result_to_dict_is_json_safe():
     data = json.loads(payload)
     assert len(data["rows"]) == len(result.rows)
     assert data["store_entries"] == len(result.store)
+
+
+# ---------------------------------------------------------------- tracestore
+
+
+def test_sweep_shares_trace_store(tmp_path):
+    """Cold sweep populates the store; warm sweep replays from it with
+    byte-identical tables — across serial and pooled execution."""
+    from repro.tracestore import TraceStore
+
+    root = tmp_path / "traces"
+    plan = lambda: plan_sweep(["relu"], sizes=SIZES, methods=("photon",),
+                              trace_store=str(root))
+    cold = run_sweep(plan(), jobs=1)
+    assert cold.trace_merge is not None
+    assert cold.trace_merge["warps_added"] > 0
+    assert not (root / "staging").exists()  # staging folded and removed
+
+    warm = run_sweep(plan(), jobs=1)
+    assert warm.trace_merge is not None
+    assert warm.trace_merge["warps_added"] == 0  # nothing new to write
+    assert _det_table(warm.rows) == _det_table(cold.rows)
+
+    pooled = run_sweep(plan(), jobs=2)
+    assert _det_table(pooled.rows) == _det_table(cold.rows)
+
+    # the canonical bundles really exist and decode cleanly
+    assert list(TraceStore(root).root.glob("*.trc"))
+
+
+def test_sweep_without_trace_store_unchanged():
+    tasks = plan_sweep(["relu"], sizes=SIZES, methods=("photon",))
+    assert all(task.trace_store is None for task in tasks)
+    result = run_sweep(tasks, jobs=1)
+    assert result.trace_merge is None

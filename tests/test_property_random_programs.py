@@ -12,13 +12,18 @@ and checks cross-cutting invariants of the whole stack:
   single warp.
 """
 
+import tempfile
+
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import R9_NANO
 from repro.functional import FunctionalExecutor, GlobalMemory, Kernel
 from repro.isa import KernelBuilder, MemAddr, s, v
-from repro.timing import DetailedEngine
+from repro.timing import DetailedEngine, TraceCache, scoped_trace_cache
+from repro.timing.simulator import simulate_kernel_detailed
+from repro.tracestore import TraceStore
 
 GPU = R9_NANO.scaled(4)
 
@@ -28,13 +33,17 @@ _SOPS = ("s_add", "s_sub", "s_mul", "s_min", "s_max")
 
 
 @st.composite
-def random_kernels(draw):
-    """A random well-formed kernel over up to 3 loops and 40 ops."""
+def random_kernel_factories(draw):
+    """A zero-arg factory building a random well-formed kernel.
+
+    Returning a *factory* (instead of a kernel) lets one example run the
+    same launch several times from identical initial state — required by
+    the differential suite, because an execution-driven run applies the
+    kernel's stores to its memory arena.
+    """
     n_warps = draw(st.integers(1, 12))
     wg_size = draw(st.sampled_from([1, 2, 4]))
     n_loops = draw(st.integers(0, 2))
-    mem = GlobalMemory(capacity_words=n_warps * 64 + 256)
-    buf = mem.alloc("buf", np.ones(n_warps * 64))
 
     b = KernelBuilder("random")
     b.v_lane(v(0))
@@ -71,8 +80,20 @@ def random_kernels(draw):
     if draw(st.booleans()):
         b.v_store(v(1), MemAddr(base=s(4), index=v(0)))
     b.s_endpgm()
-    return Kernel(program=b.build(), n_warps=n_warps, wg_size=wg_size,
-                  memory=mem, args=lambda w: {4: buf}, name="random")
+    program = b.build()
+
+    def factory():
+        mem = GlobalMemory(capacity_words=n_warps * 64 + 256)
+        buf = mem.alloc("buf", np.ones(n_warps * 64))
+        return Kernel(program=program, n_warps=n_warps, wg_size=wg_size,
+                      memory=mem, args=lambda w: {4: buf}, name="random")
+
+    return factory
+
+
+def random_kernels():
+    """A random well-formed kernel over up to 3 loops and 40 ops."""
+    return random_kernel_factories().map(lambda factory: factory())
 
 
 @settings(max_examples=40, deadline=None)
@@ -124,3 +145,101 @@ def test_trace_dependencies_point_backwards(kernel):
     trace = executor.run_warp_full(0)
     for i, dep in enumerate(trace.dep):
         assert -1 <= dep < i
+
+
+# -- differential harness: three trace front ends, one answer ---------------
+#
+# The same launch runs through DetailedEngine three ways:
+#   exec      execution-driven (warps emulated at dispatch — the default)
+#   memcache  trace-driven from an in-memory TraceCache (populate + replay)
+#   store     TraceForge warm replay: a store-backed cache populates a tmp
+#             TraceStore, is flushed, and a *fresh* cache replays from disk
+# All three must produce bitwise-identical cycle counts, per-warp
+# dispatch/retire times, memory statistics, and fallback ledgers.
+
+def _run_exec(factory):
+    return simulate_kernel_detailed(factory(), GPU)
+
+
+def _run_memcache(factory):
+    cache = TraceCache()
+    with scoped_trace_cache(cache):
+        simulate_kernel_detailed(factory(), GPU)           # populate
+        result = simulate_kernel_detailed(factory(), GPU)  # replay
+    assert cache.hits > 0
+    return result
+
+
+def _run_store(factory, tmp):
+    store = TraceStore(tmp)
+    warmer = TraceCache(backing_store=store)
+    with scoped_trace_cache(warmer):
+        simulate_kernel_detailed(factory(), GPU)
+    assert warmer.flush() > 0
+    replayer = TraceCache(backing_store=store)
+    with scoped_trace_cache(replayer):
+        result = simulate_kernel_detailed(factory(), GPU)
+    assert replayer.misses == 0, "warm run re-emulated a warp"
+    assert replayer.store_hits > 0
+    return result
+
+
+def _assert_identical(reference, candidate, label):
+    assert candidate.sim_time == reference.sim_time, label
+    assert candidate.n_insts == reference.n_insts, label
+    assert candidate.detail_insts == reference.detail_insts, label
+    assert (candidate.meta["warp_times"]
+            == reference.meta["warp_times"]), label
+    assert (candidate.meta["mem_stats"]
+            == reference.meta["mem_stats"]), label
+    assert ([e.to_dict() for e in candidate.errors]
+            == [e.to_dict() for e in reference.errors]), label
+
+
+def _differential(factory):
+    reference = _run_exec(factory)
+    _assert_identical(reference, _run_memcache(factory), "memcache")
+    with tempfile.TemporaryDirectory() as tmp:
+        _assert_identical(reference, _run_store(factory, tmp), "store")
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_kernel_factories())
+def test_differential_front_ends_quick(factory):
+    """Fast-lane slice of the three-front-end differential property."""
+    _differential(factory)
+
+
+@pytest.mark.slow
+@settings(max_examples=200, deadline=None)
+@given(random_kernel_factories())
+def test_differential_front_ends_full(factory):
+    """Full 200-example differential run (nightly lane; see ISSUE 4)."""
+    _differential(factory)
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_kernel_factories())
+def test_partially_populated_store_matches(factory):
+    """A store holding only some warps still replays bit-identically.
+
+    Mirrors what Photon's early-stopped engines leave behind: the warm
+    run serves the stored warps from disk and re-emulates the rest, and
+    the mix must not perturb timing.
+    """
+    reference = _run_exec(factory)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        kernel = factory()
+        key = store.key_for(kernel)  # before emulation mutates memory
+        executor = FunctionalExecutor(kernel)
+        partial = {w: executor.run_warp_full(w)
+                   for w in range(0, kernel.n_warps, 2)}
+        store.put_kernel(kernel, partial, key=key)
+
+        cache = TraceCache(backing_store=store)
+        with scoped_trace_cache(cache):
+            result = simulate_kernel_detailed(factory(), GPU)
+        assert cache.store_hits == len(partial)
+        assert cache.misses == kernel.n_warps - len(partial)
+        _assert_identical(reference, result, "partial store")

@@ -65,3 +65,103 @@ def test_cache_clear(tiny_gpu):
     DetailedEngine(kernel, tiny_gpu,
                    trace_provider=cache.provider(kernel)).run()
     assert cache.misses == 8  # re-populated
+
+
+# ------------------------------------------------- TraceForge backing store
+
+
+def test_backing_store_warm_across_cache_instances(tiny_gpu, tmp_path):
+    """Traces written by one cache instance warm a brand-new one —
+    the cross-process persistence TraceForge exists for."""
+    from repro.tracestore import TraceStore
+
+    warmer = TraceCache(backing_store=TraceStore(tmp_path))
+    kernel = make_vecadd(n_warps=8)
+    first = DetailedEngine(kernel, tiny_gpu,
+                           trace_provider=warmer.provider(kernel)).run()
+    assert warmer.misses == 8
+    assert warmer.flush() == 8
+    assert warmer.flush() == 0  # idempotent: nothing left pending
+
+    replayer = TraceCache(backing_store=TraceStore(tmp_path))
+    kernel2 = make_vecadd(n_warps=8)  # fresh kernel, identical content
+    second = DetailedEngine(kernel2, tiny_gpu,
+                            trace_provider=replayer.provider(kernel2)).run()
+    assert replayer.store_hits == 8
+    assert replayer.misses == 0
+    assert second.end_time == first.end_time
+    assert second.warp_times == first.warp_times
+    assert second.mem_stats == first.mem_stats
+
+
+def test_backing_store_shared_across_gpu_configs(tiny_gpu, tmp_path):
+    """Stored traces are microarchitecture independent (Photon §6.3):
+    one store serves differently-configured GPUs."""
+    import dataclasses
+
+    from repro.tracestore import TraceStore
+
+    warmer = TraceCache(backing_store=TraceStore(tmp_path))
+    kernel = make_vecadd(n_warps=8)
+    res_a = DetailedEngine(kernel, tiny_gpu,
+                           trace_provider=warmer.provider(kernel)).run()
+    warmer.flush()
+
+    slow = dataclasses.replace(tiny_gpu, dram_lat=2000, name="slow")
+    replayer = TraceCache(backing_store=TraceStore(tmp_path))
+    kernel2 = make_vecadd(n_warps=8)
+    res_b = DetailedEngine(kernel2, slow,
+                           trace_provider=replayer.provider(kernel2)).run()
+    assert replayer.store_hits == 8
+    assert res_b.end_time > res_a.end_time  # timing still config-driven
+
+
+def test_default_cache_wires_into_engine(tiny_gpu):
+    """Engines built without a trace_provider consult the scoped cache."""
+    from repro.timing import current_trace_cache, scoped_trace_cache
+
+    assert current_trace_cache() is None
+    cache = TraceCache()
+    with scoped_trace_cache(cache):
+        assert current_trace_cache() is cache
+        kernel = make_vecadd(n_warps=4)
+        DetailedEngine(kernel, tiny_gpu).run()
+        DetailedEngine(kernel, tiny_gpu).run()
+    assert cache.misses == 4 and cache.hits == 4
+    assert current_trace_cache() is None
+
+
+def test_store_events_on_bus(tiny_gpu, tmp_path):
+    """Hit/miss/write traffic is observable on the event bus."""
+    from repro.obs import (TRACESTORE_HIT, TRACESTORE_MISS,
+                           TRACESTORE_WRITE, EventBus, scoped_bus)
+    from repro.tracestore import TraceStore
+
+    with scoped_bus() as bus:
+        seen = {"hit": [], "miss": [], "write": []}
+        bus.subscribe(TRACESTORE_HIT,
+                      lambda warp, source: seen["hit"].append(source))
+        bus.subscribe(TRACESTORE_MISS,
+                      lambda warp: seen["miss"].append(warp))
+        bus.subscribe(TRACESTORE_WRITE,
+                      lambda bundle, warps, quarantined:
+                      seen["write"].append(warps))
+
+        cache = TraceCache(backing_store=TraceStore(tmp_path))
+        kernel = make_vecadd(n_warps=4)
+        DetailedEngine(kernel, tiny_gpu,
+                       trace_provider=cache.provider(kernel)).run()
+        cache.flush()
+        assert seen["miss"] == [0, 1, 2, 3]
+        assert seen["write"] == [4]
+
+        replayer = TraceCache(backing_store=TraceStore(tmp_path))
+        kernel2 = make_vecadd(n_warps=4)
+        DetailedEngine(kernel2, tiny_gpu,
+                       trace_provider=replayer.provider(kernel2)).run()
+        assert seen["hit"] == ["store"] * 4
+
+        counters = bus.metrics.snapshot()["counters"]
+        assert counters["tracestore.misses"] == 4
+        assert counters["tracestore.writes"] == 4
+        assert counters["tracestore.store_hits"] == 4

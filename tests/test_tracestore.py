@@ -1,0 +1,316 @@
+"""TraceForge: on-disk format, hardening contract, and golden fixture.
+
+Mirrors the ``core.persist`` v2 hardening tests (test_core_persist.py)
+for the warp-trace store: atomic bundles, format versioning, sha256
+checksums, and — the load-bearing property — *per-entry quarantine*: a
+version bump, a truncated file, or a flipped byte must lose exactly the
+affected entries and never fail the run.
+
+The golden fixture under ``tests/fixtures/tracestore`` is a checked-in
+bundle for the shared ``make_vecadd(4, wg_size=2)`` kernel; it pins the
+on-disk format across refactors (regenerate with
+``scripts/gen_trace_fixture.py`` after an intentional format bump).
+"""
+
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from conftest import make_loop_kernel, make_vecadd
+from repro.config import R9_NANO
+from repro.functional import FunctionalExecutor
+from repro.timing import DetailedEngine, TraceCache, scoped_trace_cache
+from repro.tracestore import (
+    FORMAT_VERSION,
+    TraceStore,
+    decode_warp_trace,
+    encode_warp_trace,
+    kernel_data_digest,
+    program_digest,
+    trace_key,
+)
+from repro.tracestore.format import TraceFormatError
+from repro.tracestore.store import _header_checksum
+
+GPU = R9_NANO.scaled(4)
+
+FIXTURE_DIR = pathlib.Path(__file__).parent / "fixtures" / "tracestore"
+
+
+# -- binary codec -----------------------------------------------------------
+
+def test_codec_roundtrip_real_traces():
+    for kernel in (make_vecadd(n_warps=4), make_loop_kernel(n_warps=4)):
+        executor = FunctionalExecutor(kernel)
+        for warp in range(kernel.n_warps):
+            trace = executor.run_warp_full(warp)
+            clone = decode_warp_trace(warp, encode_warp_trace(trace))
+            assert clone == trace
+
+
+def test_codec_distinguishes_none_from_empty_mem():
+    """None (not a memory op) and () (no active lanes) must round-trip."""
+    from repro.functional.trace import WarpTrace
+
+    trace = WarpTrace(
+        warp_id=3,
+        static_idx=[0, 1, 2],
+        opclass=[1, 2, 3],
+        opcode=[10, 11, 12],
+        dep=[-1, 0, 1],
+        mem_lines=[None, (), (7, 8, 9)],
+        is_store=[False, False, True],
+        bb_seq=[(0, 0)],
+    )
+    clone = decode_warp_trace(3, encode_warp_trace(trace))
+    assert clone == trace
+    assert clone.mem_lines[0] is None
+    assert clone.mem_lines[1] == ()
+
+
+def test_codec_rejects_truncated_blob():
+    trace = FunctionalExecutor(make_vecadd(n_warps=1)).run_warp_full(0)
+    blob = encode_warp_trace(trace)
+    with pytest.raises(TraceFormatError):
+        decode_warp_trace(0, blob[:-3])
+
+
+# -- stable content keys ----------------------------------------------------
+
+def test_program_digest_stable_across_rebuilds():
+    a, b = make_vecadd(n_warps=4), make_vecadd(n_warps=4)
+    assert program_digest(a.program) == program_digest(b.program)
+    assert kernel_data_digest(a) == kernel_data_digest(b)
+    assert trace_key(a) == trace_key(b)
+
+
+def test_program_digest_sensitive_to_program_and_data():
+    vecadd, loop = make_vecadd(n_warps=4), make_loop_kernel(n_warps=4)
+    assert program_digest(vecadd.program) != program_digest(loop.program)
+    small, big = make_vecadd(n_warps=4), make_vecadd(n_warps=8)
+    # different grid → different key even for the same program
+    assert trace_key(small) != trace_key(big)
+    # mutated input data → different data digest (stale traces never hit)
+    mutated = make_vecadd(n_warps=4)
+    mutated.memory.view("x")[0] = 123.0
+    assert kernel_data_digest(mutated) != kernel_data_digest(small)
+
+
+# -- bundle round trip ------------------------------------------------------
+
+def _populate(store, kernel):
+    key = store.key_for(kernel)
+    executor = FunctionalExecutor(kernel)
+    traces = {w: executor.run_warp_full(w) for w in range(kernel.n_warps)}
+    store.put_kernel(kernel, traces, key=key)
+    return key, traces
+
+
+def test_bundle_roundtrip(tmp_path):
+    store = TraceStore(tmp_path)
+    kernel = make_vecadd(n_warps=4)
+    key, traces = _populate(store, kernel)
+
+    view = TraceStore(tmp_path).open_kernel(make_vecadd(n_warps=4))
+    assert view.key == key
+    assert view.n_available == 4
+    assert view.quarantined == 0
+    for warp, trace in traces.items():
+        assert view.get(warp) == trace
+    assert view.get(99) is None
+
+
+def test_put_merges_into_existing_bundle(tmp_path):
+    store = TraceStore(tmp_path)
+    kernel = make_vecadd(n_warps=4)
+    key = store.key_for(kernel)
+    executor = FunctionalExecutor(kernel)
+    store.put_kernel(kernel, {0: executor.run_warp_full(0)}, key=key)
+    store.put_kernel(kernel, {2: executor.run_warp_full(2)}, key=key)
+    view = store.open_kernel(make_vecadd(n_warps=4))
+    assert sorted(w for w in range(4) if view.get(w) is not None) == [0, 2]
+
+
+# -- hardening contract (mirrors test_core_persist.py) ----------------------
+
+def _bundle_path(root) -> pathlib.Path:
+    paths = list(pathlib.Path(root).glob("*.trc"))
+    assert len(paths) == 1
+    return paths[0]
+
+
+def _split_bundle(path):
+    raw = path.read_bytes()
+    newline = raw.find(b"\n")
+    return json.loads(raw[:newline].decode()), raw[newline + 1:]
+
+
+def _write_header(path, header, body):
+    header = dict(header)
+    header["checksum"] = _header_checksum(header)
+    path.write_bytes(json.dumps(header, sort_keys=True,
+                                separators=(",", ":")).encode()
+                     + b"\n" + body)
+
+
+def test_version_bump_quarantines_whole_bundle(tmp_path):
+    """A future format version is a miss, not an error."""
+    store = TraceStore(tmp_path)
+    _populate(store, make_vecadd(n_warps=4))
+    path = _bundle_path(tmp_path)
+    header, body = _split_bundle(path)
+    header["version"] = FORMAT_VERSION + 1
+    _write_header(path, header, body)  # checksum valid, version unsupported
+
+    view = TraceStore(tmp_path).open_kernel(make_vecadd(n_warps=4))
+    assert view.n_available == 0
+    assert view.quarantined == 4
+
+
+def test_truncated_bundle_quarantines_tail_entry(tmp_path):
+    """Losing the file tail loses exactly the last warp's entry."""
+    store = TraceStore(tmp_path)
+    _populate(store, make_vecadd(n_warps=4))
+    path = _bundle_path(tmp_path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-10])
+
+    view = TraceStore(tmp_path).open_kernel(make_vecadd(n_warps=4))
+    assert view.quarantined == 1
+    assert view.n_available == 3
+    for warp in range(3):
+        assert view.get(warp) is not None
+    assert view.get(3) is None
+
+
+def test_flipped_checksum_byte_quarantines_one_entry(tmp_path):
+    """A flipped byte in one blob loses that entry and nothing else."""
+    store = TraceStore(tmp_path)
+    kernel = make_vecadd(n_warps=4)
+    key, traces = _populate(store, kernel)
+    path = _bundle_path(tmp_path)
+    header, body = _split_bundle(path)
+    victim = header["entries"][1]
+    raw = bytearray(path.read_bytes())
+    newline = raw.find(b"\n")
+    raw[newline + 1 + victim["offset"] + victim["length"] // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+    view = TraceStore(tmp_path).open_kernel(make_vecadd(n_warps=4))
+    assert view.quarantined == 1
+    assert view.get(victim["warp"]) is None
+    for warp in range(4):
+        if warp != victim["warp"]:
+            assert view.get(warp) == traces[warp]
+
+
+def test_flipped_header_byte_quarantines_bundle(tmp_path):
+    store = TraceStore(tmp_path)
+    _populate(store, make_vecadd(n_warps=4))
+    path = _bundle_path(tmp_path)
+    raw = bytearray(path.read_bytes())
+    raw[10] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    view = TraceStore(tmp_path).open_kernel(make_vecadd(n_warps=4))
+    assert view.n_available == 0
+    assert view.quarantined >= 1
+
+
+def test_corruption_never_fails_the_run(tmp_path):
+    """A corrupt store degrades to re-emulation with identical timing."""
+    reference = DetailedEngine(make_vecadd(n_warps=4), GPU).run()
+    store = TraceStore(tmp_path)
+    _populate(store, make_vecadd(n_warps=4))
+    path = _bundle_path(tmp_path)
+    path.write_bytes(b"not a bundle at all")
+
+    cache = TraceCache(backing_store=TraceStore(tmp_path))
+    with scoped_trace_cache(cache):
+        result = DetailedEngine(make_vecadd(n_warps=4), GPU).run()
+    assert cache.store_hits == 0
+    assert cache.misses == 4
+    assert result.end_time == reference.end_time
+    assert result.warp_times == reference.warp_times
+
+
+# -- staged merge (sweep-worker sharing) ------------------------------------
+
+def test_merge_staged_is_first_writer_wins_in_task_order(tmp_path):
+    store = TraceStore(tmp_path)
+    kernel = make_vecadd(n_warps=4)
+    key = store.key_for(kernel)
+    executor = FunctionalExecutor(make_vecadd(n_warps=4))
+    real = {w: executor.run_warp_full(w) for w in range(4)}
+    # task 3 stages a forged trace for warp 0; task 1 stages the real set
+    forged = decode_warp_trace(0, encode_warp_trace(real[0]))
+    forged.opcode = list(forged.opcode)
+    forged.opcode[0] += 1
+    store.stage(3).put_kernel(kernel, {0: forged}, key=key)
+    store.stage(1).put_kernel(kernel, real, key=key)
+
+    stats = store.merge_staged()
+    assert stats["tasks"] == 2
+    assert stats["warps_added"] == 4
+    assert not (tmp_path / "staging").exists()
+
+    view = store.open_kernel(make_vecadd(n_warps=4))
+    # lower task index folded first: the real warp-0 trace won
+    assert view.get(0) == real[0]
+    assert view.n_available == 4
+
+
+def test_merge_staged_empty_store(tmp_path):
+    stats = TraceStore(tmp_path).merge_staged()
+    assert stats == {"tasks": 0, "bundles": 0, "warps_added": 0,
+                     "quarantined": 0}
+
+
+# -- golden fixture ---------------------------------------------------------
+
+def test_golden_fixture_is_checked_in():
+    assert list(FIXTURE_DIR.glob("*.trc")), (
+        "golden fixture missing; run scripts/gen_trace_fixture.py")
+
+
+def test_golden_fixture_matches_current_format():
+    """The checked-in bundle decodes under today's digests and codec."""
+    kernel = make_vecadd(n_warps=4, wg_size=2)
+    view = TraceStore(FIXTURE_DIR).open_kernel(kernel)
+    assert view.quarantined == 0, (
+        "golden fixture no longer decodes — the on-disk format changed; "
+        "bump FORMAT_VERSION and regenerate via "
+        "scripts/gen_trace_fixture.py")
+    assert view.n_available == 4
+    executor = FunctionalExecutor(make_vecadd(n_warps=4, wg_size=2))
+    for warp in range(4):
+        assert view.get(warp) == executor.run_warp_full(warp)
+
+
+def test_golden_fixture_replays_bit_identically():
+    reference = DetailedEngine(make_vecadd(n_warps=4, wg_size=2),
+                               GPU).run()
+    cache = TraceCache(backing_store=TraceStore(FIXTURE_DIR))
+    with scoped_trace_cache(cache):
+        result = DetailedEngine(make_vecadd(n_warps=4, wg_size=2),
+                                GPU).run()
+    assert cache.store_hits == 4
+    assert cache.misses == 0
+    assert result.end_time == reference.end_time
+    assert result.warp_times == reference.warp_times
+    assert result.mem_stats == reference.mem_stats
+
+
+def test_golden_fixture_survives_corruption(tmp_path):
+    """Corrupting a copy of the fixture quarantines only the bad parts."""
+    work = tmp_path / "store"
+    shutil.copytree(FIXTURE_DIR, work)
+    path = _bundle_path(work)
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF  # clobber the last blob's tail
+    path.write_bytes(bytes(raw))
+
+    view = TraceStore(work).open_kernel(make_vecadd(n_warps=4, wg_size=2))
+    assert view.quarantined == 1
+    assert view.n_available == 3
