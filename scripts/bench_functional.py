@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Benchmark WarpPack batched functional execution vs the per-warp path.
+
+For each workload the script produces FULL-mode traces for every warp
+twice — once through the per-warp interpreter
+(``FunctionalExecutor.run_warp_full``) and once through the batched
+WarpPack executor (``WarpPackExecutor.run_warps_full``) — and reports
+dynamic instructions per second for both, the speedup, and the number
+of equivalence diffs (trace mismatches between the two modes, which
+must be zero: batching is bitwise-equivalent by contract).
+
+Workloads: the paper kernels MM, SpMV, AES plus the FIR and ReLU gate
+set, and a VGG-16 slice (the first convolution launches of the DNN
+application).  Each measurement rebuilds the kernel from scratch
+(execution mutates the memory arena) and includes executor
+construction, so neither mode amortises setup the other pays; the best
+of ``--repeats`` runs is kept.
+
+    PYTHONPATH=src python scripts/bench_functional.py
+    PYTHONPATH=src python scripts/bench_functional.py --smoke
+    PYTHONPATH=src python scripts/bench_functional.py \
+        --min-batch-speedup 3.0      # nightly CI gate (mm, fir, relu)
+
+Writes ``BENCH_functional.json``.  ``--min-batch-speedup X`` exits
+non-zero when any gate workload (mm, fir, relu) falls below X; any
+equivalence diff fails the run regardless of flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.functional import FunctionalExecutor, WarpPackExecutor
+from repro.harness.runner import workload_factory
+from repro.workloads import build_vgg
+
+#: workload -> (full size, smoke size) in warps
+WORKLOADS = {
+    "mm": (512, 128),
+    "spmv": (1024, 128),
+    "aes": (512, 128),
+    "fir": (1024, 128),
+    "relu": (1024, 128),
+}
+
+#: speedup gate applies to these (see ISSUE 5 acceptance criteria)
+GATE_WORKLOADS = ("mm", "fir", "relu")
+
+#: kernels of the VGG-16 application measured as the "vgg16-slice" row
+VGG_SLICE_KERNELS = 2
+
+
+def _measure(factories, repeats: int) -> dict:
+    """Best-of-``repeats`` per-warp and batched walls over ``factories``.
+
+    ``factories`` is a list of zero-arg kernel builders (one per kernel
+    launch in the row).  Returns walls, instruction totals, insts/sec,
+    speedup, and the equivalence diff count.
+    """
+    per_warp_wall = float("inf")
+    batched_wall = float("inf")
+    total_insts = 0
+    diffs = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        reference = []
+        insts = 0
+        for factory in factories:
+            kernel = factory()
+            executor = FunctionalExecutor(kernel)
+            traces = {w: executor.run_warp_full(w)
+                      for w in range(kernel.n_warps)}
+            insts += sum(t.n_insts for t in traces.values())
+            reference.append(traces)
+        per_warp_wall = min(per_warp_wall, time.perf_counter() - t0)
+        total_insts = insts
+
+        t0 = time.perf_counter()
+        batched = []
+        for factory in factories:
+            kernel = factory()
+            pack = WarpPackExecutor(kernel)
+            batched.append(pack.run_warps_full(range(kernel.n_warps)))
+        batched_wall = min(batched_wall, time.perf_counter() - t0)
+
+        diffs = sum(
+            1
+            for expect, got in zip(reference, batched)
+            for w in expect
+            if expect[w] != got.get(w)
+        )
+    return {
+        "insts": total_insts,
+        "per_warp_wall": per_warp_wall,
+        "batched_wall": batched_wall,
+        "per_warp_ips": total_insts / per_warp_wall,
+        "batched_ips": total_insts / batched_wall,
+        "speedup": per_warp_wall / batched_wall,
+        "equivalence_diffs": diffs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_functional.json",
+                        help="output JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes, 1 repeat (CI fast lane)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="keep the best of N timed runs (default 3)")
+    parser.add_argument("--min-batch-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if any gate workload "
+                             f"({', '.join(GATE_WORKLOADS)}) speeds up "
+                             "less than X over per-warp execution")
+    args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else args.repeats
+
+    rows = {}
+    for name, (size, smoke_size) in WORKLOADS.items():
+        warps = smoke_size if args.smoke else size
+        rows[name] = dict(
+            _measure([workload_factory(name, warps)], repeats),
+            size=warps)
+        print(f"{name:12s} {rows[name]['insts']:>10d} insts  "
+              f"per-warp {rows[name]['per_warp_ips'] / 1e3:8.0f}k i/s  "
+              f"batched {rows[name]['batched_ips'] / 1e3:8.0f}k i/s  "
+              f"-> {rows[name]['speedup']:.2f}x  "
+              f"diffs {rows[name]['equivalence_diffs']}")
+
+    # VGG-16 slice: measure the first conv launches of the application
+    # (fresh app per factory call — conv kernels share one memory arena)
+    slice_n = 1 if args.smoke else VGG_SLICE_KERNELS
+    vgg_factories = [
+        (lambda i=i: build_vgg(16).kernels[i]) for i in range(slice_n)
+    ]
+    rows["vgg16-slice"] = dict(_measure(vgg_factories, repeats),
+                               kernels=slice_n)
+    row = rows["vgg16-slice"]
+    print(f"{'vgg16-slice':12s} {row['insts']:>10d} insts  "
+          f"per-warp {row['per_warp_ips'] / 1e3:8.0f}k i/s  "
+          f"batched {row['batched_ips'] / 1e3:8.0f}k i/s  "
+          f"-> {row['speedup']:.2f}x  diffs {row['equivalence_diffs']}")
+
+    record = {
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "gate_workloads": list(GATE_WORKLOADS),
+        "workloads": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failed = False
+    for name, row in rows.items():
+        if row["equivalence_diffs"]:
+            print(f"FAIL: {name}: {row['equivalence_diffs']} trace "
+                  f"diffs between batched and per-warp execution",
+                  file=sys.stderr)
+            failed = True
+    if args.min_batch_speedup is not None:
+        for name in GATE_WORKLOADS:
+            if rows[name]["speedup"] < args.min_batch_speedup:
+                print(f"FAIL: {name} batched speedup "
+                      f"{rows[name]['speedup']:.2f}x < required "
+                      f"{args.min_batch_speedup:.2f}x", file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

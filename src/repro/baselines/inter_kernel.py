@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple
 
 from ..config.gpu_configs import GpuConfig
 from ..errors import ConfigError
+from ..functional.batch import control_traces
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Application, Kernel
 from ..timing.caches import MemoryHierarchy
@@ -61,10 +62,9 @@ class _InterKernelSampler:
 
     def _profile_insts(self, kernel: Kernel) -> int:
         executor = FunctionalExecutor(kernel)
-        return sum(
-            executor.run_warp_control(w).n_insts
-            for w in range(kernel.n_warps)
-        )
+        traces = control_traces(kernel, range(kernel.n_warps),
+                                executor=executor)
+        return sum(trace.n_insts for trace in traces.values())
 
     def _key(self, kernel: Kernel, total_insts: int) -> Tuple:
         raise NotImplementedError

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..config.gpu_configs import GpuConfig
 from ..errors import ConfigError
+from ..functional.batch import control_traces
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Application, Kernel
 from ..timing.caches import MemoryHierarchy
@@ -210,8 +211,10 @@ class PKA:
             block_hist[block.pc] = hist
         mix = np.zeros(n_ops)
         total = 0
+        traces = control_traces(kernel, range(kernel.n_warps),
+                                executor=executor)
         for warp_id in range(kernel.n_warps):
-            trace = executor.run_warp_control(warp_id)
+            trace = traces[warp_id]
             total += trace.n_insts
             for pc, count in trace.bb_counts().items():
                 mix += count * block_hist[pc]

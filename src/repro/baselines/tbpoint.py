@@ -33,6 +33,7 @@ from typing import Dict, Optional
 
 from ..config.gpu_configs import GpuConfig
 from ..errors import ConfigError
+from ..functional.batch import control_traces
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Application, Kernel
 from ..timing.caches import MemoryHierarchy
@@ -137,7 +138,9 @@ class TBPoint:
         )
         executor = FunctionalExecutor(kernel)
         predicted_insts = sum(
-            executor.run_warp_control(w).n_insts for w in remaining)
+            trace.n_insts
+            for trace in control_traces(kernel, remaining,
+                                        executor=executor).values())
         result = KernelResult(
             kernel_name=kernel.name,
             sim_time=max(detailed.end_time, fast.end_time),

@@ -28,6 +28,7 @@ import sys
 from typing import Dict, List, Optional, Tuple
 
 from .errors import ConfigError, ReproError, WorkloadError
+from .functional.batch import set_batching_enabled
 from .obs import (
     CORE_KINDS,
     CountingSink,
@@ -187,6 +188,16 @@ def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
         help="persistent warp-trace store: replay FULL-mode traces "
              "from DIR instead of re-emulating, and persist new ones "
              "for the next run (see docs/tracestore.md)")
+    sub.add_argument(
+        "--trace-store-max-mb", type=float, default=None, metavar="MB",
+        dest="trace_store_max_mb",
+        help="evict least-recently-written trace-store bundles after "
+             "the run until the store fits in MB megabytes")
+    sub.add_argument(
+        "--no-batch", action="store_true",
+        help="disable batched (WarpPack) functional execution; every "
+             "warp is emulated individually (bitwise-identical results, "
+             "mostly useful for debugging and benchmarking)")
 
 
 def _watchdog_from(args: argparse.Namespace) -> Optional[WatchdogConfig]:
@@ -302,11 +313,18 @@ def _trace_export(args: argparse.Namespace) -> int:
 
 def _run(args: argparse.Namespace) -> int:
     _validate_methods(args.methods)
+    if args.no_batch:
+        # process-wide: fork-based sweep workers inherit the flag
+        set_batching_enabled(False)
     watchdog = _watchdog_from(args)
     obs = _ObsSession(args.trace_out)
     cache = None
-    if args.trace_store is not None and args.command != "sweep":
-        cache = TraceCache(backing_store=TraceStore(args.trace_store))
+    store = None
+    if args.trace_store is not None:
+        store = TraceStore(args.trace_store,
+                           max_mb=args.trace_store_max_mb)
+        if args.command != "sweep":
+            cache = TraceCache(backing_store=store)
     try:
         if args.command == "sweep":
             return _run_sweep(args, watchdog, obs)
@@ -334,6 +352,8 @@ def _run(args: argparse.Namespace) -> int:
     finally:
         if cache is not None:
             cache.flush()
+        if store is not None:
+            store.evict()
         obs.finish()
         if args.metrics:
             obs.print_summary()

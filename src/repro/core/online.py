@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..functional.batch import control_traces
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Kernel
 from ..reliability.watchdog import WatchdogConfig
@@ -80,8 +81,10 @@ def analyze_kernel(
     type_insts: Dict[int, int] = {}
     total_insts = 0
 
+    traces = control_traces(kernel, sample, executor=executor,
+                            batched=config.batched_functional)
     for warp_id in sample:
-        trace = executor.run_warp_control(warp_id)
+        trace = traces[warp_id]
         total_insts += trace.n_insts
         seq = tuple(trace.bb_seq)
         key = warp_type_key(seq)

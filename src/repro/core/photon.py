@@ -46,6 +46,7 @@ import numpy as np
 
 from ..config.gpu_configs import GpuConfig
 from ..errors import ConfigError, SamplingError, TimingError
+from ..functional.batch import control_traces
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Application, Kernel
 from ..obs import RELIABILITY_FALLBACK, EventBus, current_bus
@@ -456,6 +457,11 @@ class Photon:
         program = kernel.program
         executor = FunctionalExecutor(kernel, watchdog=self.watchdog,
                                       bus=self.bus)
+        # fast-forward the remaining warps in one batched (WarpPack)
+        # CONTROL pass when allowed; falls back per-warp otherwise
+        traces = control_traces(
+            kernel, remaining, executor=executor,
+            batched=self.config.batched_functional)
 
         def bb_time(pc: int) -> float:
             known = table.get(pc)
@@ -471,7 +477,7 @@ class Photon:
         durations: Dict[int, float] = {}
         predicted_insts = 0
         for warp_id in remaining:
-            trace = executor.run_warp_control(warp_id)
+            trace = traces[warp_id]
             predicted_insts += trace.n_insts
             seq = tuple(trace.bb_seq)
             duration = duration_cache.get(seq)

@@ -196,7 +196,7 @@ class _StaticInfo:
                  "kind", "fn", "dst_idx", "src_spec", "target",
                  "mem_base", "mem_index", "mem_scale", "mem_offset")
 
-    def __init__(self, inst: Instruction, leaders: set):
+    def __init__(self, inst: Instruction):
         reads: List[object] = []
         for reg in inst.reads():
             if isinstance(reg, SReg):
@@ -263,7 +263,7 @@ class FunctionalExecutor:
         self.bus = bus if bus is not None else current_bus()
         leaders = {b.start for b in self.program.blocks}
         self._static = [
-            _StaticInfo(inst, leaders) for inst in self.program.instructions
+            _StaticInfo(inst) for inst in self.program.instructions
         ]
         for pc in leaders:
             self._static[pc].is_leader = True
@@ -535,26 +535,6 @@ class FunctionalExecutor:
             for fn in warp_subs:
                 fn(warp_id, "full", trace.n_insts, wall)
         return trace
-
-    @staticmethod
-    def _vwrite(vregs, index, value, exec_mask, exec_all) -> None:
-        value = np.asarray(value, dtype=np.float64)
-        if exec_all:
-            if value.shape == vregs[index].shape:
-                vregs[index] = value.copy() if value.base is not None else value
-            else:
-                vregs[index][:] = value
-        else:
-            vregs[index][exec_mask] = np.broadcast_to(
-                value, vregs[index].shape)[exec_mask]
-
-    @staticmethod
-    def _addresses(inst, sregs, vregs, warp_size) -> np.ndarray:
-        mem = inst.mem
-        base = sregs[mem.base.index] + mem.offset
-        if mem.index is None:
-            return np.full(warp_size, base, dtype=np.float64)
-        return base + vregs[mem.index.index] * mem.scale
 
     # -- CONTROL mode -------------------------------------------------------------
 

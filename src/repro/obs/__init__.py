@@ -58,6 +58,8 @@ from .events import (
     ENGINE_WARP_DISPATCH,
     ENGINE_WARP_RETIRE,
     ENGINE_WG_DISPATCH,
+    EXEC_BATCH,
+    EXEC_BATCH_FALLBACK,
     EXEC_WARP,
     Event,
     EventType,
@@ -66,6 +68,7 @@ from .events import (
     RELIABILITY_FALLBACK,
     RELIABILITY_FAULT,
     RELIABILITY_WATCHDOG,
+    TRACESTORE_EVICT,
     TRACESTORE_HIT,
     TRACESTORE_MISS,
     TRACESTORE_WRITE,
@@ -97,6 +100,8 @@ __all__ = [
     "ENGINE_WARP_DISPATCH",
     "ENGINE_WARP_RETIRE",
     "ENGINE_WG_DISPATCH",
+    "EXEC_BATCH",
+    "EXEC_BATCH_FALLBACK",
     "EXEC_WARP",
     "Event",
     "EventBus",
@@ -110,6 +115,7 @@ __all__ = [
     "RELIABILITY_FAULT",
     "RELIABILITY_WATCHDOG",
     "Sink",
+    "TRACESTORE_EVICT",
     "TRACESTORE_HIT",
     "TRACESTORE_MISS",
     "TRACESTORE_WRITE",

@@ -97,6 +97,17 @@ EXEC_WARP = EventType(
     "executor.warp", ("warp", "mode", "n_insts", "wall"),
     "One warp interpreted functionally (mode 'full' or 'control').")
 
+EXEC_BATCH = EventType(
+    "exec.batch",
+    ("kernel", "mode", "warps", "groups", "group_sizes", "fallbacks",
+     "wall"),
+    "One WarpPack batched fill: path-group count and sizes, warps "
+    "served batched, warps deferred to per-warp fallback.")
+EXEC_BATCH_FALLBACK = EventType(
+    "exec.batch_fallback", ("kernel", "mode", "warps"),
+    "A batched attempt raised ExecutionError; these warps will be "
+    "re-run through the per-warp executor.")
+
 # -- persistent trace store (TraceForge) -----------------------------------
 
 TRACESTORE_HIT = EventType(
@@ -110,6 +121,9 @@ TRACESTORE_MISS = EventType(
 TRACESTORE_WRITE = EventType(
     "tracestore.write", ("bundle", "warps", "quarantined"),
     "A flush persisted newly emulated warp traces to the store.")
+TRACESTORE_EVICT = EventType(
+    "tracestore.evict", ("bundle", "bytes"),
+    "Size-bounded eviction removed a least-recently-used bundle.")
 
 # -- Photon detectors ------------------------------------------------------
 
@@ -144,8 +158,9 @@ ALL_TYPES: Dict[str, EventType] = {
     for t in (
         ENGINE_KERNEL, ENGINE_WG_DISPATCH, ENGINE_WARP_DISPATCH,
         ENGINE_BB, ENGINE_WARP_RETIRE, ENGINE_BARRIER, ENGINE_WAITCNT,
-        ENGINE_STALL, ENGINE_INST, EXEC_WARP, TRACESTORE_HIT,
-        TRACESTORE_MISS, TRACESTORE_WRITE, DETECTOR_SWITCH,
+        ENGINE_STALL, ENGINE_INST, EXEC_WARP, EXEC_BATCH,
+        EXEC_BATCH_FALLBACK, TRACESTORE_HIT, TRACESTORE_MISS,
+        TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
         PARALLEL_TASK,
     )
@@ -163,7 +178,8 @@ HOT_KINDS = frozenset((
 #: cheap summary kinds safe to count on every run
 CORE_KINDS = tuple(
     t.name for t in (
-        ENGINE_KERNEL, TRACESTORE_WRITE, DETECTOR_SWITCH,
+        ENGINE_KERNEL, EXEC_BATCH, EXEC_BATCH_FALLBACK,
+        TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
         PARALLEL_TASK,
     )

@@ -31,6 +31,7 @@ from ..core.persist import analysis_store_payload, kernel_db_payload
 from ..core.photon import AnalysisStore
 from ..baselines.pka import PkaConfig
 from ..errors import ConfigError, ReproError
+from ..functional.batch import batching_enabled, scoped_batching
 from ..harness.defaults import EVAL_PHOTON, resolve_gpu
 from ..harness.runner import (
     LEVEL_METHODS,
@@ -264,7 +265,9 @@ def run_task(task: SweepTask) -> TaskOutcome:
         cache = TraceCache(backing_store=staged)
 
     try:
-        with scoped_trace_cache(cache):
+        with scoped_trace_cache(cache), \
+                scoped_batching(batching_enabled()
+                                and task.photon.batched_functional):
             result, out.attempts = task.retry.run_with_attempts(attempt)
     except ReproError as exc:
         out.status, out.stage = "error", "run"

@@ -195,10 +195,10 @@ class DetailedEngine:
                 # --trace-store) serves traces without re-emulation
                 trace_provider = cache.provider(kernel)
             else:
-                from ..functional.executor import FunctionalExecutor
+                from ..functional.batch import resolve_trace_provider
 
-                executor = FunctionalExecutor(kernel)
-                trace_provider = executor.run_warp_full
+                # WarpPack (batched) by default; per-warp when disabled
+                trace_provider = resolve_trace_provider(kernel)
         self.trace_provider = trace_provider
         self.ipc_bucket = ipc_bucket
         self.collect_latency = collect_latency

@@ -37,6 +37,12 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
+from ..functional.batch import (
+    DEFAULT_CHUNK,
+    WarpPackExecutor,
+    batching_enabled,
+    pack_compatible,
+)
 from ..functional.executor import FunctionalExecutor
 from ..functional.kernel import Kernel
 from ..functional.trace import WarpTrace
@@ -55,13 +61,21 @@ class TraceCache:
         fingerprint to the store's stable content key, which also
         covers the input data — so two same-program launches with
         different inputs never alias.
+    batch_chunk:
+        Misses are batch-filled through the WarpPack executor in chunks
+        of this many consecutive warps (cold-run speedup; chunking
+        bounds wasted work when a detector stops the engine early).
+        Warps already cached in memory or available in the backing
+        store are never re-emulated by a fill.
     """
 
-    def __init__(self, max_traces: int = 1 << 20, backing_store=None):
+    def __init__(self, max_traces: int = 1 << 20, backing_store=None,
+                 batch_chunk: int = DEFAULT_CHUNK):
         self._traces: Dict[Tuple, WarpTrace] = {}
         self._executors: Dict[Tuple, FunctionalExecutor] = {}
         self.max_traces = max_traces
         self.backing_store = backing_store
+        self.batch_chunk = max(1, int(batch_chunk))
         self._views: Dict[Tuple, object] = {}       # kernel key -> KernelTraces
         self._pending: Dict[Tuple, Tuple[Kernel, Dict[int, WarpTrace]]] = {}
         self.hits = 0          # in-memory hits
@@ -118,6 +132,39 @@ class TraceCache:
         hit_channel = bus.channel(TRACESTORE_HIT)
         miss_channel = bus.channel(TRACESTORE_MISS)
 
+        pack = WarpPackExecutor(kernel, executor=executor)
+        chunk = self.batch_chunk
+        n_warps = kernel.n_warps
+        filled: set = set()      # warps a fill already attempted
+        fallback: set = set()    # serve these per-warp
+        prefilled: Dict[int, WarpTrace] = {}  # batch-emulated, unserved
+
+        def record_miss(warp_id: int, trace: WarpTrace) -> None:
+            self.misses += 1
+            c_miss.inc()
+            if miss_channel.subscribers:
+                miss_channel.publish(warp_id)
+            if len(self._traces) < self.max_traces:
+                self._traces[kernel_key + (warp_id,)] = trace
+            if pending is not None:
+                pending[warp_id] = trace
+
+        def batch_fill(warp_id: int) -> None:
+            """Pack-emulate the missing warps of ``warp_id``'s chunk."""
+            lo = (warp_id // chunk) * chunk
+            candidates = [
+                w for w in range(lo, min(lo + chunk, n_warps))
+                if w not in filled
+                and kernel_key + (w,) not in self._traces
+                and (view is None or not view.has(w))
+            ]
+            if warp_id not in candidates:
+                candidates.append(warp_id)
+            filled.update(candidates)
+            fill = pack.fill_full(candidates)
+            fallback.update(fill.fallback)
+            prefilled.update(fill.traces)
+
         def provide(warp_id: int) -> WarpTrace:
             key = kernel_key + (warp_id,)
             trace = self._traces.get(key)
@@ -137,15 +184,19 @@ class TraceCache:
                     if len(self._traces) < self.max_traces:
                         self._traces[key] = trace
                     return trace
-            self.misses += 1
-            c_miss.inc()
-            if miss_channel.subscribers:
-                miss_channel.publish(warp_id)
+            if (warp_id not in fallback and batching_enabled()
+                    and pack_compatible(executor.watchdog,
+                                        executor.fault_plan)):
+                if warp_id not in filled:
+                    batch_fill(warp_id)
+                trace = prefilled.pop(warp_id, None)
+                if trace is not None:
+                    # misses count at serve time, so a speculative fill
+                    # of a warp the engine never requests is not a miss
+                    record_miss(warp_id, trace)
+                    return trace
             trace = executor.run_warp_full(warp_id)
-            if len(self._traces) < self.max_traces:
-                self._traces[key] = trace
-            if pending is not None:
-                pending[warp_id] = trace
+            record_miss(warp_id, trace)
             return trace
 
         return provide

@@ -244,6 +244,10 @@ class KernelTraces:
     def n_available(self) -> int:
         return len(self._blobs)
 
+    def has(self, warp_id: int) -> bool:
+        """Whether a trace for ``warp_id`` is present (without decoding)."""
+        return warp_id in self._decoded or warp_id in self._blobs
+
     def get(self, warp_id: int) -> Optional[WarpTrace]:
         """Decode the stored trace for ``warp_id`` (None on miss)."""
         trace = self._decoded.get(warp_id)
@@ -273,14 +277,22 @@ class TraceStore:
     :meth:`stage`) redirects writes to a staging directory while reads
     keep hitting the canonical bundles — that is how parallel sweep
     workers share one store without write races.
+
+    ``max_mb`` bounds the store's on-disk size: :meth:`evict` deletes
+    whole least-recently-written bundles (oldest mtime first) until the
+    store fits.  Eviction is an explicit call — runs invoke it after
+    their flush/merge — so a bundle can never disappear under a live
+    read view.
     """
 
-    def __init__(self, root, write_root=None):
+    def __init__(self, root, write_root=None, max_mb=None):
         self.root = Path(root)
         self.write_root = Path(write_root) if write_root else self.root
+        self.max_mb = max_mb
         self.reads = 0
         self.writes = 0
         self.quarantined = 0
+        self.evicted = 0
 
     # -- keying ------------------------------------------------------------
 
@@ -334,6 +346,53 @@ class TraceStore:
         if added or existing.quarantined:
             self.writes += 1
         return added
+
+    # -- size bounding -------------------------------------------------------
+
+    def evict(self, max_mb: Optional[float] = None) -> int:
+        """Delete LRU bundles until the store fits; returns bundles removed.
+
+        The budget is ``max_mb`` (falling back to the instance's
+        ``max_mb``; no-op when both are None).  Bundles are removed
+        oldest-mtime-first — a bundle's mtime is its last (re)write, so
+        kernels still being warmed survive over ones last touched runs
+        ago.  Each removal emits a ``tracestore.evict`` event and bumps
+        the ``tracestore.evictions`` counter.
+        """
+        limit = self.max_mb if max_mb is None else max_mb
+        if limit is None:
+            return 0
+        budget = int(limit * (1 << 20))
+        bundles: List[Tuple[float, int, Path]] = []
+        for path in self.root.glob("*.trc"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            bundles.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _mtime, size, _path in bundles)
+        if total <= budget:
+            return 0
+        from ..obs import TRACESTORE_EVICT, current_bus
+
+        bus = current_bus()
+        channel = bus.channel(TRACESTORE_EVICT)
+        evicted = 0
+        for _mtime, size, path in sorted(bundles):
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            if channel.subscribers:
+                channel.publish(path.name, size)
+        if evicted:
+            self.evicted += evicted
+            bus.metrics.counter("tracestore.evictions").inc(evicted)
+        return evicted
 
     # -- sweep-worker staging ----------------------------------------------
 

@@ -162,6 +162,21 @@ def test_run_trace_store_cold_then_warm(capsys, tmp_path):
     assert _sim_columns(cold.out)  # the comparison actually saw rows
 
 
+def test_run_trace_store_max_mb_evicts(capsys, tmp_path):
+    """--trace-store-max-mb bounds the store after the run's flush."""
+    store = tmp_path / "traces"
+    argv = ["run", "relu", "--size", "256", "--methods", "photon",
+            "--trace-store", str(store)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert list(store.glob("*.trc"))
+
+    assert main(argv + ["--trace-store-max-mb", "0", "--metrics"]) == 0
+    evicting = capsys.readouterr()
+    assert not list(store.glob("*.trc"))  # everything over the 0 budget
+    assert "counter tracestore.evictions" in evicting.err
+
+
 def test_run_without_trace_store_writes_nothing(capsys, tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
     assert main(["run", "relu", "--size", "256",

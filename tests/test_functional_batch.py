@@ -1,0 +1,291 @@
+"""WarpPack: path-grouped, warp-batched vectorized functional execution.
+
+Covers the batched executor's grouping behaviour, the fallback ladder
+(batch -> per-warp on ExecutionError), the process-wide and per-config
+batching switches, the ``exec.batch`` observability surface, the
+chunked engine provider, and the TraceCache batch-fill accounting.
+Bitwise equivalence against the per-warp interpreter is property-tested
+in ``test_property_random_programs.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryFault
+from repro.functional import (
+    FunctionalExecutor,
+    GlobalMemory,
+    Kernel,
+    PackProvider,
+    WarpPackExecutor,
+    batching_enabled,
+    control_traces,
+    pack_compatible,
+    resolve_trace_provider,
+    scoped_batching,
+    set_batching_enabled,
+)
+from repro.isa import KernelBuilder, MemAddr, s, v
+from repro.obs import EXEC_BATCH, EXEC_BATCH_FALLBACK, EventBus, scoped_bus
+from repro.reliability.faults import FaultPlan
+from repro.reliability.watchdog import WatchdogConfig
+from repro.timing import DetailedEngine, TraceCache
+
+from conftest import make_vecadd
+
+
+def make_split_kernel(n_warps: int = 8, threshold: int = 4,
+                      wg_size: int = 2) -> Kernel:
+    """Warps below ``threshold`` run an extra segment (two path groups)."""
+    mem = GlobalMemory(capacity_words=n_warps * 64 + 64)
+    out = mem.alloc("out", n_warps * 64)
+    b = KernelBuilder("split")
+    b.v_lane(v(0))
+    b.s_mul(s(3), s(0), 64)
+    b.v_add(v(0), v(0), s(3))
+    b.v_mov(v(1), 1.0)
+    b.s_cmp_lt(s(0), threshold)
+    b.s_cbranch_scc0("join")
+    b.v_mul(v(1), v(1), 3.0)
+    b.v_add(v(1), v(1), v(0))
+    b.label("join")
+    b.v_store(v(1), MemAddr(base=s(4), index=v(0)))
+    b.s_endpgm()
+    return Kernel(program=b.build(), n_warps=n_warps, wg_size=wg_size,
+                  memory=mem, args=lambda w: {4: out}, name="split")
+
+
+def make_faulting_kernel(n_warps: int = 6, bad_warp: int = 2,
+                         wg_size: int = 2) -> Kernel:
+    """One warp branches to an out-of-bounds store; the rest are fine."""
+    mem = GlobalMemory(capacity_words=n_warps * 64 + 64)
+    out = mem.alloc("out", n_warps * 64)
+    b = KernelBuilder("faulty")
+    b.v_lane(v(0))
+    b.s_mul(s(3), s(0), 64)
+    b.v_add(v(0), v(0), s(3))
+    b.v_mov(v(1), 1.0)
+    b.s_cmp_eq(s(0), bad_warp)
+    b.s_cbranch_scc0("safe")
+    b.v_store(v(1), MemAddr(base=s(9), index=v(0)))  # s9 is OOB
+    b.label("safe")
+    b.v_store(v(1), MemAddr(base=s(4), index=v(0)))
+    b.s_endpgm()
+    oob = mem.capacity * 4
+    return Kernel(program=b.build(), n_warps=n_warps, wg_size=wg_size,
+                  memory=mem, args=lambda w: {4: out, 9: oob},
+                  name="faulty")
+
+
+# -- path grouping -----------------------------------------------------------
+
+
+def test_uniform_kernel_is_one_group():
+    kernel = make_vecadd(n_warps=8)
+    pack = WarpPackExecutor(kernel)
+    _traces, groups, fallback = pack.control_packs(range(8))
+    assert fallback == []
+    assert [sorted(g) for g in groups] == [list(range(8))]
+
+
+def test_divergent_kernel_splits_groups():
+    kernel = make_split_kernel(n_warps=8, threshold=4)
+    pack = WarpPackExecutor(kernel)
+    traces, groups, fallback = pack.control_packs(range(8))
+    assert fallback == []
+    assert sorted(sorted(g) for g in groups) == [[0, 1, 2, 3],
+                                                 [4, 5, 6, 7]]
+    # path signatures really differ between the halves
+    assert traces[0].bb_seq != traces[4].bb_seq
+    assert len(traces) == 8
+
+
+def test_fill_full_reports_group_sizes():
+    kernel = make_split_kernel(n_warps=8, threshold=2)
+    fill = WarpPackExecutor(kernel).fill_full(range(8))
+    assert sorted(fill.group_sizes) == [2, 6]
+    assert sorted(fill.traces) == list(range(8))
+    assert fill.fallback == []
+
+
+# -- fallback ladder ---------------------------------------------------------
+
+
+def test_faulting_group_falls_back_without_losing_good_warps():
+    kernel = make_faulting_kernel(n_warps=6, bad_warp=2)
+    fill = WarpPackExecutor(kernel).fill_full(range(6))
+    assert fill.fallback == [2]
+    assert sorted(fill.traces) == [0, 1, 3, 4, 5]
+
+
+def test_provider_serves_good_warps_and_raises_for_bad():
+    kernel = make_faulting_kernel(n_warps=6, bad_warp=2)
+    provider = PackProvider(kernel)
+    for warp in (0, 1, 3, 4, 5):
+        assert provider(warp).n_insts > 0
+    with pytest.raises(MemoryFault):
+        provider(2)
+
+
+def test_fallback_trace_matches_per_warp():
+    kernel_a = make_faulting_kernel(n_warps=6, bad_warp=2)
+    kernel_b = make_faulting_kernel(n_warps=6, bad_warp=2)
+    fill = WarpPackExecutor(kernel_a).fill_full(range(6))
+    reference = FunctionalExecutor(kernel_b)
+    for warp in (0, 1, 3, 4, 5):
+        assert fill.traces[warp] == reference.run_warp_full(warp)
+
+
+# -- batching switches -------------------------------------------------------
+
+
+def test_scoped_batching_flag():
+    assert batching_enabled()
+    with scoped_batching(False):
+        assert not batching_enabled()
+        with scoped_batching(True):
+            assert batching_enabled()
+        assert not batching_enabled()
+    assert batching_enabled()
+
+
+def test_resolve_trace_provider_honors_flag():
+    kernel = make_vecadd(n_warps=4)
+    assert isinstance(resolve_trace_provider(kernel), PackProvider)
+    with scoped_batching(False):
+        assert not isinstance(resolve_trace_provider(kernel), PackProvider)
+
+
+def test_pack_compatible_gates():
+    assert pack_compatible(None, None)
+    assert pack_compatible(WatchdogConfig(deadline_seconds=10.0), None)
+    assert not pack_compatible(WatchdogConfig(max_instructions=100), None)
+    assert not pack_compatible(WatchdogConfig(stall_instructions=50), None)
+    assert not pack_compatible(None, FaultPlan())
+
+
+def test_control_traces_batched_equals_per_warp():
+    kernel = make_split_kernel(n_warps=8)
+    batched = control_traces(kernel, range(8))
+    with scoped_batching(False):
+        per_warp = control_traces(kernel, range(8))
+    assert batched == per_warp
+
+
+def test_engine_results_identical_with_batching_off(tiny_gpu):
+    first = DetailedEngine(make_vecadd(n_warps=8), tiny_gpu).run()
+    with scoped_batching(False):
+        second = DetailedEngine(make_vecadd(n_warps=8), tiny_gpu).run()
+    assert first.end_time == second.end_time
+    assert first.warp_times == second.warp_times
+    assert first.mem_stats == second.mem_stats
+
+
+def test_cli_no_batch_flag():
+    from repro.cli import main
+
+    try:
+        assert main(["run", "relu", "--size", "64", "--no-batch"]) == 0
+        assert not batching_enabled()
+    finally:
+        set_batching_enabled(True)
+
+
+# -- observability -----------------------------------------------------------
+
+
+def test_exec_batch_events_and_counters():
+    with scoped_bus() as bus:
+        seen = []
+        bus.subscribe(
+            EXEC_BATCH,
+            lambda kernel, mode, warps, groups, sizes, fallbacks, wall:
+            seen.append((kernel, mode, warps, groups, sizes, fallbacks)))
+        kernel = make_split_kernel(n_warps=8, threshold=4)
+        WarpPackExecutor(kernel, bus=bus).fill_full(range(8))
+        assert seen == [("split", "full", 8, 2, [4, 4], 0)]
+        counters = bus.metrics.snapshot()["counters"]
+        assert counters["exec.batch.groups"] == 2
+        assert counters["exec.batch.batched_warps"] == 8
+        assert "exec.batch.fallbacks" not in counters
+
+
+def test_exec_batch_fallback_event():
+    with scoped_bus() as bus:
+        seen = []
+        bus.subscribe(EXEC_BATCH_FALLBACK,
+                      lambda kernel, mode, warps: seen.append(warps))
+        kernel = make_faulting_kernel(n_warps=6, bad_warp=1)
+        WarpPackExecutor(kernel, bus=bus).fill_full(range(6))
+        assert seen == [[1]]
+        counters = bus.metrics.snapshot()["counters"]
+        assert counters["exec.batch.fallbacks"] == 1
+
+
+# -- chunked provider and TraceCache integration -----------------------------
+
+
+def test_pack_provider_chunks_fills():
+    with scoped_bus() as bus:
+        fills = []
+        bus.subscribe(
+            EXEC_BATCH,
+            lambda kernel, mode, warps, groups, sizes, fallbacks, wall:
+            fills.append(warps))
+        kernel = make_vecadd(n_warps=8)
+        provider = PackProvider(kernel, chunk=4)
+        for warp in range(8):
+            assert provider(warp).warp_id == warp
+        assert fills == [4, 4]  # two chunk fills, no per-warp runs
+
+
+def test_trace_cache_batch_fill_counts_served_misses_only(tiny_gpu):
+    """Speculatively filled but never-requested warps are not misses."""
+    cache = TraceCache()
+    kernel = make_vecadd(n_warps=8)
+    provider = cache.provider(kernel)
+    provider(3)  # fills the whole chunk, serves one warp
+    assert cache.misses == 1 and cache.hits == 0
+    provider(5)  # served from the same fill: a miss, not a hit
+    assert cache.misses == 2 and cache.hits == 0
+    provider(3)  # genuinely cached now
+    assert cache.hits == 1
+
+
+def test_trace_cache_per_warp_when_batching_off(tiny_gpu):
+    with scoped_batching(False):
+        cache = TraceCache()
+        kernel = make_vecadd(n_warps=8)
+        DetailedEngine(kernel, tiny_gpu,
+                       trace_provider=cache.provider(kernel)).run()
+        assert cache.misses == 8 and cache.hits == 0
+
+
+# -- END-row shape regression (per-warp and batched agree) -------------------
+
+
+def test_end_row_shape_pinned():
+    """``s_endpgm`` appends a full trace row then stops.
+
+    The END handler writes a dependency entry with ``mem_lines`` None
+    and ``is_store`` False, and breaks *before* the last-writer update —
+    the batched interpreter replicates this exactly, so the final row is
+    part of the bitwise contract.
+    """
+    kernel = make_vecadd(n_warps=4)
+    program = kernel.program
+    end_idx = len(program.instructions) - 1
+    per_warp = FunctionalExecutor(make_vecadd(n_warps=4)).run_warp_full(1)
+    batched = WarpPackExecutor(kernel).run_warps_full(range(4))[1]
+    for trace in (per_warp, batched):
+        assert trace.static_idx[-1] == end_idx
+        assert trace.mem_lines[-1] is None
+        assert trace.is_store[-1] is False
+        assert -1 <= trace.dep[-1] < trace.n_insts - 1
+        # parallel arrays all cover the END row
+        assert (len(trace.opclass) == len(trace.opcode) == len(trace.dep)
+                == len(trace.mem_lines) == len(trace.is_store)
+                == trace.n_insts)
+    assert per_warp == batched

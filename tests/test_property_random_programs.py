@@ -9,7 +9,11 @@ and checks cross-cutting invariants of the whole stack:
 * the timing engine terminates, retires every instruction exactly once,
   and respects causality;
 * the scheduler-only fast model never finishes before the longest
-  single warp.
+  single warp;
+* batched (WarpPack) and per-warp execution are bitwise identical —
+  traces, memory arenas, and simulated cycles — including programs
+  with warp-divergent scalar branches and lane divergence under a
+  live exec mask.
 """
 
 import tempfile
@@ -65,6 +69,38 @@ def random_kernel_factories(draw):
     b.v_mov(v(1), 0.0)
     b.s_mov(s(5), 1)
     emit_ops(segments[0])
+
+    # optional warp-divergent scalar branch: s0 is the warp id, so warps
+    # on either side of the threshold follow different basic-block paths
+    # (this is what splits WarpPack path groups)
+    if draw(st.booleans()):
+        threshold = draw(st.integers(0, 12))
+        extra = draw(st.lists(
+            st.tuples(st.sampled_from(_VOPS + _SOPS), st.integers(1, 7)),
+            min_size=1, max_size=4))
+        b.s_cmp_lt(s(0), threshold)
+        b.s_cbranch_scc0("skip_warp_div")
+        emit_ops(extra)
+        b.label("skip_warp_div")
+
+    # optional lane divergence: run a segment under a partial exec mask,
+    # optionally with an LDS round trip, then merge with v_cndmask
+    if draw(st.booleans()):
+        masked = draw(st.lists(
+            st.tuples(st.sampled_from(_VOPS), st.integers(1, 7)),
+            min_size=1, max_size=4))
+        b.v_lane(v(3))
+        b.v_cmp_lt(v(3), float(draw(st.integers(1, 63))))
+        b.s_exec_from_vcc()
+        emit_ops(masked)
+        if draw(st.booleans()):
+            b.ds_write(v(3), v(1))
+            b.s_waitcnt()
+            b.ds_read(v(2), v(3))
+            b.s_waitcnt()
+        b.s_exec_all()
+        b.v_cndmask(v(1), v(1), v(2))
+
     for loop_idx in range(n_loops):
         trips = draw(st.integers(1, 5))
         counter = s(8 + loop_idx)
@@ -216,6 +252,55 @@ def test_differential_front_ends_quick(factory):
 def test_differential_front_ends_full(factory):
     """Full 200-example differential run (nightly lane; see ISSUE 4)."""
     _differential(factory)
+
+
+# -- batched (WarpPack) vs per-warp equivalence ------------------------------
+#
+# Batching is purely a performance optimisation: path-grouped vectorized
+# execution must be *bitwise* indistinguishable from the per-warp
+# interpreter.  Each example checks (a) FULL and CONTROL traces per warp,
+# (b) the final global-memory arena, and (c) end-to-end simulated cycles
+# with batching on vs off (which also covers the three trace front ends,
+# since the differential suite above runs them with batching enabled).
+
+def _batched_equivalence(factory):
+    from repro.functional import WarpPackExecutor, scoped_batching
+
+    kernel_ref = factory()
+    kernel_bat = factory()
+    warps = range(kernel_ref.n_warps)
+    per_warp = FunctionalExecutor(kernel_ref)
+    expect_full = {w: per_warp.run_warp_full(w) for w in warps}
+    expect_ctrl = {w: per_warp.run_warp_control(w) for w in warps}
+
+    pack = WarpPackExecutor(kernel_bat)
+    got_ctrl = pack.run_warps_control(warps)
+    got_full = pack.run_warps_full(warps)
+    for w in warps:
+        assert got_ctrl[w] == expect_ctrl[w], f"control trace, warp {w}"
+        assert got_full[w] == expect_full[w], f"full trace, warp {w}"
+    assert np.array_equal(kernel_ref.memory._data,
+                          kernel_bat.memory._data), "memory arena"
+
+    with scoped_batching(False):
+        timing_ref = _run_exec(factory)
+    timing_bat = _run_exec(factory)
+    _assert_identical(timing_ref, timing_bat, "batched timing")
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_kernel_factories())
+def test_batched_equivalence_quick(factory):
+    """Fast-lane slice of the batched-vs-per-warp property."""
+    _batched_equivalence(factory)
+
+
+@pytest.mark.slow
+@settings(max_examples=200, deadline=None)
+@given(random_kernel_factories())
+def test_batched_equivalence_full(factory):
+    """Full 200-example batched-vs-per-warp run (nightly lane)."""
+    _batched_equivalence(factory)
 
 
 @settings(max_examples=10, deadline=None)

@@ -133,6 +133,58 @@ def test_put_merges_into_existing_bundle(tmp_path):
     assert sorted(w for w in range(4) if view.get(w) is not None) == [0, 2]
 
 
+# -- size-bounded eviction ---------------------------------------------------
+
+def _make_two_bundles(tmp_path):
+    """Two bundles with deterministic mtimes: the first written is older."""
+    import os
+
+    store = TraceStore(tmp_path)
+    _populate(store, make_vecadd(n_warps=4))
+    (old,) = pathlib.Path(tmp_path).glob("*.trc")
+    _populate(store, make_loop_kernel(n_warps=4))
+    (new,) = (p for p in pathlib.Path(tmp_path).glob("*.trc") if p != old)
+    os.utime(old, (1_000, 1_000))
+    os.utime(new, (2_000, 2_000))
+    return store, old, new
+
+
+def test_evict_noop_without_budget(tmp_path):
+    store, old, new = _make_two_bundles(tmp_path)
+    assert store.evict() == 0  # no max_mb configured
+    assert old.exists() and new.exists()
+
+
+def test_evict_noop_when_under_budget(tmp_path):
+    store, old, new = _make_two_bundles(tmp_path)
+    assert store.evict(max_mb=1.0) == 0
+    assert old.exists() and new.exists()
+
+
+def test_evict_removes_lru_bundle_first(tmp_path):
+    store, old, new = _make_two_bundles(tmp_path)
+    budget_mb = new.stat().st_size / (1 << 20)
+    assert store.evict(max_mb=budget_mb) == 1
+    assert not old.exists() and new.exists()
+    assert store.evicted == 1
+
+
+def test_evict_uses_instance_budget_and_emits_events(tmp_path):
+    from repro.obs import TRACESTORE_EVICT, scoped_bus
+
+    with scoped_bus() as bus:
+        seen = []
+        bus.subscribe(TRACESTORE_EVICT,
+                      lambda bundle, size: seen.append((bundle, size)))
+        store, old, new = _make_two_bundles(tmp_path)
+        store.max_mb = 0.0  # evict everything
+        assert store.evict() == 2
+        assert not old.exists() and not new.exists()
+        assert [name for name, _size in seen] == [old.name, new.name]
+        counters = bus.metrics.snapshot()["counters"]
+        assert counters["tracestore.evictions"] == 2
+
+
 # -- hardening contract (mirrors test_core_persist.py) ----------------------
 
 def _bundle_path(root) -> pathlib.Path:
