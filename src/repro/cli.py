@@ -9,6 +9,8 @@ scripts:
     python -m repro app resnet50
     python -m repro sweep relu fir --sizes 2048 4096 --jobs 4
     python -m repro sweep relu --jobs 4 --shard 0/2 --json results.json
+    python -m repro sweep relu fir --jobs 4 --run-dir runs/nightly
+    python -m repro sweep --resume runs/nightly --jobs 4
     python -m repro run relu --trace relu.jsonl --metrics
     python -m repro trace export relu.jsonl relu.json
     python -m repro list
@@ -49,7 +51,7 @@ from .harness.runner import (
     workload_factory,
 )
 from .harness.tables import comparison_table
-from .parallel import plan_sweep, run_sweep
+from .parallel import plan_sweep, resume_sweep, run_sweep
 from .reliability.watchdog import WatchdogConfig
 from .timing.tracecache import TraceCache, scoped_trace_cache
 from .tracestore import TraceStore
@@ -125,8 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="parallel sweep over workloads x sizes x methods")
-    sweep.add_argument("workloads", nargs="+",
-                       help="single-kernel workload names")
+    sweep.add_argument("workloads", nargs="*",
+                       help="single-kernel workload names (omit when "
+                            "resuming: the journal stores the plan)")
     sweep.add_argument("--sizes", nargs="+", type=int, default=None,
                        help="problem sizes in warps (default: the "
                             "per-workload quick sizes)")
@@ -149,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="split S wall-clock seconds into per-task "
                             "watchdog deadlines")
+    sweep.add_argument("--run-dir", default=None, metavar="DIR",
+                       dest="run_dir",
+                       help="journal the sweep to DIR/journal.jsonl so "
+                            "a killed run can be resumed (--resume DIR)")
+    sweep.add_argument("--resume", default=None, metavar="DIR",
+                       dest="resume_dir",
+                       help="resume the journaled sweep in DIR: replay "
+                            "completed tasks, re-run missing/failed "
+                            "ones; ignores workloads/planning flags")
     _add_watchdog_flags(sweep)
     _add_obs_flags(sweep)
 
@@ -362,13 +374,26 @@ def _run(args: argparse.Namespace) -> int:
 def _run_sweep(args: argparse.Namespace,
                watchdog: Optional[WatchdogConfig],
                obs: _ObsSession) -> int:
-    tasks = plan_sweep(
-        args.workloads, sizes=args.sizes,
-        methods=tuple(args.methods), gpu=args.gpu, seed=args.seed,
-        photon_config=EVAL_PHOTON, watchdog=watchdog,
-        shard=_parse_shard(args.shard), trace_store=args.trace_store)
-    result = run_sweep(tasks, jobs=args.jobs,
-                       sweep_deadline=args.sweep_deadline)
+    if args.resume_dir is not None:
+        if args.workloads:
+            raise ConfigError(
+                "--resume takes the plan from the journal; drop the "
+                "workload arguments (and other planning flags)")
+        result = resume_sweep(args.resume_dir, jobs=args.jobs,
+                              sweep_deadline=args.sweep_deadline)
+    else:
+        if not args.workloads:
+            raise ConfigError(
+                "sweep needs workload names (or --resume DIR)")
+        tasks = plan_sweep(
+            args.workloads, sizes=args.sizes,
+            methods=tuple(args.methods), gpu=args.gpu, seed=args.seed,
+            photon_config=EVAL_PHOTON, watchdog=watchdog,
+            shard=_parse_shard(args.shard),
+            trace_store=args.trace_store)
+        result = run_sweep(tasks, jobs=args.jobs,
+                           sweep_deadline=args.sweep_deadline,
+                           run_dir=args.run_dir)
     if args.json_out != "-":
         print(comparison_table(result.rows))
         print()

@@ -1,0 +1,105 @@
+"""Crash-durable file primitives shared by every persistence layer.
+
+``core.persist`` and ``tracestore.store`` both used the classic
+"temp file + ``os.replace``" idiom, which protects readers from torn
+files but is **not** durable: neither the payload nor the directory
+entry was ever fsync'd, so a power loss shortly after the replace could
+silently lose or tear the "atomically written" file.  This module
+closes that gap once, for every writer:
+
+* :func:`durable_replace` — write-to-temp, ``fsync(fd)``,
+  ``os.replace``, ``fsync(dir)``.  After it returns, the new content
+  survives power loss; if it raises (or the process dies), the target
+  still holds its previous complete content.
+* :func:`durable_append` — append + flush + ``fsync(fd)`` for
+  write-ahead logs (the sweep journal).  A crash mid-append leaves a
+  torn *tail*, which journal readers quarantine.
+* :func:`fsync_dir` — directory-entry durability for renames/creates.
+
+Every durable write passes through the filesystem fault layer
+(:mod:`repro.reliability.fsfaults`), so tests can deterministically
+inject ENOSPC, short writes and torn writes at any site.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from .reliability.fsfaults import arm_fs_write
+
+PathLike = Union[str, Path]
+
+
+def fsync_dir(path: PathLike) -> None:
+    """fsync a directory so renames/creates inside it survive power loss.
+
+    Best effort: platforms without directory file descriptors (or a
+    directory that vanished) degrade to a no-op rather than failing the
+    write that already succeeded.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(str(path), flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(data: bytes, target: PathLike,
+                    site: str = "fs.replace") -> None:
+    """Atomically and durably replace ``target`` with ``data``.
+
+    The payload goes to a temp file in the target's directory, is
+    fsync'd, ``os.replace``-d over the target, and the directory entry
+    is fsync'd.  On any failure the temp file is removed and the target
+    keeps its previous complete content — readers never observe a torn
+    or missing file, before or after a crash.
+
+    ``site`` names the write for fault injection (see
+    ``docs/durability.md`` for the site registry).
+    """
+    target = Path(target)
+    data, failure = arm_fs_write(site, target, data)
+    fd, tmp_name = tempfile.mkstemp(dir=str(target.parent),
+                                    prefix=target.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if failure is not None:
+                raise failure
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, str(target))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(target.parent)
+
+
+def durable_append(handle: BinaryIO, data: bytes, path: PathLike,
+                   site: str = "fs.append") -> int:
+    """Durably append ``data`` to an open binary ``handle``.
+
+    The bytes are written, flushed and fsync'd before returning, so a
+    returned append survives power loss.  An injected torn/short write
+    flushes its partial payload first and then raises — the on-disk
+    tail models the crash exactly.  Returns the bytes appended.
+    """
+    data, failure = arm_fs_write(site, Path(path), data)
+    handle.write(data)
+    handle.flush()
+    if failure is not None:
+        raise failure
+    os.fsync(handle.fileno())
+    return len(data)

@@ -61,5 +61,15 @@ class InjectedFault(SamplingError):
     """
 
 
+class DiskFault(ReproError):
+    """Injected filesystem failure simulating a crash mid-write.
+
+    Raised by the :mod:`repro.reliability.fsfaults` layer *after* a
+    partial payload has reached the file, so the bytes on disk model a
+    torn write exactly: tests catch this error where a real deployment
+    would have lost the process, then drive the recovery path.
+    """
+
+
 class WorkloadError(ReproError):
     """Invalid workload parameters (e.g. non-positive problem size)."""

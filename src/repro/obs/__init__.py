@@ -67,7 +67,10 @@ from .events import (
     PARALLEL_TASK,
     RELIABILITY_FALLBACK,
     RELIABILITY_FAULT,
+    RELIABILITY_RETRY,
     RELIABILITY_WATCHDOG,
+    SWEEP_JOURNAL,
+    SWEEP_RESUME,
     TRACESTORE_EVICT,
     TRACESTORE_HIT,
     TRACESTORE_MISS,
@@ -113,7 +116,10 @@ __all__ = [
     "PARALLEL_TASK",
     "RELIABILITY_FALLBACK",
     "RELIABILITY_FAULT",
+    "RELIABILITY_RETRY",
     "RELIABILITY_WATCHDOG",
+    "SWEEP_JOURNAL",
+    "SWEEP_RESUME",
     "Sink",
     "TRACESTORE_EVICT",
     "TRACESTORE_HIT",

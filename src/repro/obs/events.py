@@ -143,6 +143,10 @@ RELIABILITY_FAULT = EventType(
 RELIABILITY_WATCHDOG = EventType(
     "reliability.watchdog", ("label", "unit", "ticks", "reason"),
     "A watchdog budget tripped (the guarded loop is about to raise).")
+RELIABILITY_RETRY = EventType(
+    "reliability.retry", ("attempt", "backoff", "error"),
+    "A RetryPolicy absorbed a transient failure and is about to re-run "
+    "after `backoff` seconds of (deterministically jittered) delay.")
 
 # -- parallel sweeps (host-monotonic clock) --------------------------------
 
@@ -151,6 +155,18 @@ PARALLEL_TASK = EventType(
     ("index", "workload", "size", "method", "status", "worker",
      "t0", "t1"),
     "One executed sweep task (mirrors TaskTelemetry).")
+
+# -- crash-safe sweep journal (DuraSweep) ----------------------------------
+
+SWEEP_JOURNAL = EventType(
+    "sweep.journal", ("record", "index", "bytes"),
+    "One record was appended (and fsync'd) to the write-ahead sweep "
+    "journal; `index` is the task index, or -1 for run-level records.")
+SWEEP_RESUME = EventType(
+    "sweep.resume", ("path", "replayed", "rerun", "quarantined"),
+    "A sweep resumed from a journal: `replayed` completed tasks came "
+    "straight from the journal, `rerun` missing/failed tasks were "
+    "re-planned, `quarantined` torn tail lines were set aside.")
 
 #: every event type, by name
 ALL_TYPES: Dict[str, EventType] = {
@@ -162,7 +178,7 @@ ALL_TYPES: Dict[str, EventType] = {
         EXEC_BATCH_FALLBACK, TRACESTORE_HIT, TRACESTORE_MISS,
         TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
-        PARALLEL_TASK,
+        RELIABILITY_RETRY, PARALLEL_TASK, SWEEP_JOURNAL, SWEEP_RESUME,
     )
 }
 
@@ -181,6 +197,6 @@ CORE_KINDS = tuple(
         ENGINE_KERNEL, EXEC_BATCH, EXEC_BATCH_FALLBACK,
         TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
-        PARALLEL_TASK,
+        RELIABILITY_RETRY, PARALLEL_TASK, SWEEP_JOURNAL, SWEEP_RESUME,
     )
 )

@@ -13,6 +13,12 @@ Parallelism is a pure speed knob: serial and parallel runs of the same
 plan produce identical simulated results (see ``docs/parallel.md`` for
 the determinism contract and the task model).
 
+Sweeps are also crash-safe: ``run_sweep(..., run_dir=D)`` journals the
+plan and every outcome to a fsync'd write-ahead log, and
+:func:`resume_sweep` restarts a killed run with the completed tasks
+replayed — the merged result is bitwise-identical to an uninterrupted
+run (``docs/durability.md``).
+
 Typical use::
 
     from repro.parallel import plan_sweep, run_sweep
@@ -24,9 +30,16 @@ Typical use::
     print(result.report.summary())
 """
 
+from .journal import (
+    JOURNAL_NAME,
+    JournalScan,
+    SweepJournal,
+    scan_journal,
+)
 from .scheduler import (
     SweepResult,
     plan_sweep,
+    resume_sweep,
     rows_from_outcomes,
     run_sweep,
 )
@@ -35,13 +48,18 @@ from .telemetry import RunReport, TaskTelemetry
 
 __all__ = [
     "FULL_METHOD",
+    "JOURNAL_NAME",
+    "JournalScan",
     "RunReport",
+    "SweepJournal",
     "SweepResult",
     "SweepTask",
     "TaskOutcome",
     "TaskTelemetry",
     "plan_sweep",
+    "resume_sweep",
     "rows_from_outcomes",
     "run_sweep",
     "run_task",
+    "scan_journal",
 ]

@@ -1,4 +1,4 @@
-"""ParSweep scheduler: plan, execute, and merge evaluation sweeps.
+"""ParSweep scheduler: plan, execute, journal, and merge sweeps.
 
 :func:`plan_sweep` decomposes an evaluation (workloads × sizes ×
 methods) into an ordered list of :class:`~repro.parallel.tasks.SweepTask`
@@ -15,11 +15,23 @@ submission window, then:
   state survives sharding regardless of worker scheduling;
 * emits a :class:`~repro.parallel.telemetry.RunReport`.
 
+Crash safety (DuraSweep): with ``run_dir=D`` every scheduling decision
+and task outcome is appended to a write-ahead journal
+(:mod:`repro.parallel.journal`) before the sweep moves on, and
+:func:`resume_sweep` restarts a killed run — completed tasks are
+*replayed* from the journal, missing and failed ones re-executed, and
+the merged result is bitwise-identical to an uninterrupted run (the
+deterministic task-order merge is order-independent, so it cannot tell
+a replayed outcome from a fresh one).  A SIGKILLed pool worker no
+longer poisons the run either: the scheduler rebuilds the broken pool
+and retries the tasks that were in flight, bounded per task.
+
 Determinism contract: all simulated quantities in the produced rows
-are pure functions of (workload, seed, configuration).  Serial and
-parallel runs of the same plan therefore render byte-identical tables
-under ``comparison_table(rows, deterministic=True)``; host wall times
-(and hence speedups) are the only fields allowed to differ.
+are pure functions of (workload, seed, configuration).  Serial,
+parallel, and resumed runs of the same plan therefore render
+byte-identical tables under ``comparison_table(rows,
+deterministic=True)``; host wall times (and hence speedups) are the
+only fields allowed to differ.
 """
 
 from __future__ import annotations
@@ -27,8 +39,14 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import time as _time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..baselines.pka import PkaConfig
@@ -43,14 +61,20 @@ from ..errors import ConfigError, SamplingError, WorkloadError
 from ..harness.defaults import EVAL_PHOTON, QUICK_SIZES
 from ..harness.metrics import Comparison, compare_kernels, failed_row
 from ..harness.runner import _check_methods
-from ..obs import PARALLEL_TASK, current_bus, reset_default_bus
+from ..obs import PARALLEL_TASK, SWEEP_RESUME, current_bus, \
+    reset_default_bus
 from ..reliability.retry import NO_RETRY, RetryPolicy
 from ..reliability.watchdog import WatchdogConfig
 from ..workloads.base import REGISTRY
+from .journal import SweepJournal
 from .tasks import FULL_METHOD, SweepTask, TaskOutcome, run_task
 from .telemetry import RunReport, TaskTelemetry
 
 SizesSpec = Union[None, Sequence[int], Mapping[str, Sequence[int]]]
+
+#: a task seen in this many broken-pool incidents stops being retried
+#: and keeps its synthesized error outcome (resume can retry it later)
+_POOL_CRASH_LIMIT = 2
 
 
 def _sizes_for(workload: str, sizes: SizesSpec) -> Tuple[int, ...]:
@@ -138,6 +162,8 @@ class SweepResult:
     db_merge: MergeStats = field(default_factory=MergeStats)
     # staged trace-store merge statistics (None when no task used one)
     trace_merge: Optional[Dict[str, int]] = None
+    # tasks replayed from a sweep journal instead of re-executed
+    replayed: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe run record: rows + telemetry + merge statistics.
@@ -154,6 +180,7 @@ class SweepResult:
             "store_entries": len(self.store),
             "kernel_records": (len(self.kernel_db)
                                if self.kernel_db is not None else 0),
+            "replayed": self.replayed,
         }
 
 
@@ -263,6 +290,7 @@ def run_sweep(
     queue_depth: int = 2,
     sweep_deadline: Optional[float] = None,
     on_conflict: str = "keep",
+    run_dir: Optional[str] = None,
 ) -> SweepResult:
     """Execute a sweep plan and merge its results.
 
@@ -272,6 +300,11 @@ def run_sweep(
     tasks in flight (the bounded work queue).  ``sweep_deadline``
     splits a whole-sweep wall-clock budget into per-task watchdog
     deadlines via :meth:`WatchdogConfig.per_task`.
+
+    ``run_dir`` makes the sweep crash-safe: the plan and every task
+    outcome are journaled (fsync'd write-ahead log) so a killed run
+    can be restarted with :func:`resume_sweep` without losing
+    completed work.
     """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
@@ -279,24 +312,124 @@ def run_sweep(
         raise ConfigError(
             f"queue_depth must be >= 1, got {queue_depth!r}")
     tasks = list(tasks)
+    journal = None
+    if run_dir is not None:
+        journal = SweepJournal.create(
+            run_dir, tasks, options={"on_conflict": on_conflict})
+    try:
+        return _execute(tasks, {}, jobs=jobs, mp_context=mp_context,
+                        queue_depth=queue_depth,
+                        sweep_deadline=sweep_deadline,
+                        on_conflict=on_conflict, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def resume_sweep(
+    run_dir: str,
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+    queue_depth: int = 2,
+    sweep_deadline: Optional[float] = None,
+    on_conflict: Optional[str] = None,
+) -> SweepResult:
+    """Resume a journaled sweep after a crash (or verify a finished one).
+
+    The plan comes from the journal's ``plan`` record — no workloads,
+    sizes or methods need restating; execution knobs (``jobs``,
+    ``queue_depth``...) are free to differ from the original run.
+    Journaled completed tasks are replayed without re-execution;
+    missing and failed ones re-run (and are journaled again).  The
+    result — rows, merged stores, merged trace bundles — is
+    bitwise-identical to what the uninterrupted run would have
+    produced, because every simulated quantity is deterministic and
+    the task-order merge cannot tell a replayed outcome from a fresh
+    one.  Resuming an already-complete journal replays everything and
+    re-runs nothing.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+    if queue_depth < 1:
+        raise ConfigError(
+            f"queue_depth must be >= 1, got {queue_depth!r}")
+    journal, scan = SweepJournal.resume(run_dir)
+    try:
+        tasks = scan.tasks()
+        prior = {index: outcome
+                 for index, outcome in scan.outcomes().items()
+                 if outcome.ok}
+        options = scan.plan_record().get("options") or {}
+        if on_conflict is None:
+            on_conflict = str(options.get("on_conflict", "keep"))
+        bus = current_bus()
+        bus.emit(SWEEP_RESUME, str(Path(run_dir)), len(prior),
+                 len(tasks) - len(prior), scan.quarantined_lines)
+        bus.metrics.counter("sweep.resumes").inc()
+        bus.metrics.counter("sweep.resume.replayed").inc(len(prior))
+        bus.metrics.counter("sweep.resume.rerun").inc(
+            len(tasks) - len(prior))
+        if scan.quarantined_lines:
+            bus.metrics.counter("sweep.journal.quarantined").inc(
+                scan.quarantined_lines)
+        return _execute(tasks, prior, jobs=jobs, mp_context=mp_context,
+                        queue_depth=queue_depth,
+                        sweep_deadline=sweep_deadline,
+                        on_conflict=on_conflict, journal=journal)
+    finally:
+        journal.close()
+
+
+def _execute(
+    tasks: List[SweepTask],
+    prior: Dict[int, TaskOutcome],
+    jobs: int,
+    mp_context: Optional[str],
+    queue_depth: int,
+    sweep_deadline: Optional[float],
+    on_conflict: str,
+    journal: Optional[SweepJournal],
+) -> SweepResult:
+    """Run the tasks not covered by ``prior`` and merge everything."""
+    pending = [task for task in tasks if task.index not in prior]
     if sweep_deadline is not None:
         per = WatchdogConfig(deadline_seconds=sweep_deadline).per_task(
-            max(1, len(tasks)), jobs)
-        tasks = [dataclasses.replace(
+            max(1, len(pending)), jobs)
+        pending = [dataclasses.replace(
             task, watchdog=_with_deadline(task.watchdog,
                                           per.deadline_seconds))
-            for task in tasks]
+            for task in pending]
 
     t0 = _time.perf_counter()
-    if jobs == 1 or len(tasks) <= 1:
+    if jobs == 1 or len(pending) <= 1:
         ctx_name = "inline"
-        outcomes = [run_task(task) for task in tasks]
-        queue_waits = [0.0] * len(outcomes)
+        fresh: List[TaskOutcome] = []
+        for task in pending:
+            if journal is not None:
+                journal.task_scheduled(task)
+            outcome = run_task(task)
+            if journal is not None:
+                journal.task_outcome(outcome)
+            fresh.append(outcome)
+        fresh_waits = [0.0] * len(fresh)
     else:
         ctx_name = mp_context or _default_context()
-        outcomes, queue_waits = _run_pool(tasks, jobs, ctx_name,
-                                          queue_depth)
+        fresh, fresh_waits = _run_pool(pending, jobs, ctx_name,
+                                       queue_depth, journal)
     total_wall = _time.perf_counter() - t0
+
+    # stitch replayed and fresh outcomes back into plan order
+    fresh_by_index = {outcome.index: outcome for outcome in fresh}
+    wait_by_index = {outcome.index: queue_wait
+                     for outcome, queue_wait in zip(fresh, fresh_waits)}
+    outcomes: List[TaskOutcome] = []
+    queue_waits: List[float] = []
+    for task in tasks:
+        outcome = fresh_by_index.get(task.index)
+        if outcome is None:
+            outcome = prior[task.index]
+        outcomes.append(outcome)
+        queue_waits.append(wait_by_index.get(task.index, 0.0))
 
     rows = rows_from_outcomes(outcomes)
     store, db, store_stats, db_stats = _merge_state(outcomes, on_conflict)
@@ -312,12 +445,15 @@ def run_sweep(
             part = TraceStore(root).merge_staged()
             for key in trace_merge:
                 trace_merge[key] += part[key]
+    if journal is not None:
+        journal.merged(trace_merge)
     report = RunReport(jobs=jobs, mp_context=ctx_name,
                        total_wall=total_wall)
     bus = current_bus()
     task_subs = bus.channel(PARALLEL_TASK).subscribers
     for outcome, queue_wait in zip(outcomes, queue_waits):
-        if task_subs:
+        replayed = outcome.index in prior
+        if task_subs and not replayed:
             t1 = outcome.started + outcome.task_wall
             for fn in task_subs:
                 fn(outcome.index, outcome.workload, outcome.size,
@@ -333,16 +469,18 @@ def run_sweep(
             task_wall=outcome.task_wall,
             sim_wall=outcome.wall_seconds,
             attempts=outcome.attempts,
+            backoff_total=outcome.backoff_total,
             fallbacks=len(outcome.fallbacks),
             status=outcome.status,
             error_class=outcome.error_class,
+            replayed=replayed,
         ))
     bus.metrics.counter("sweep.runs").inc()
     bus.metrics.counter("sweep.tasks").inc(len(outcomes))
     return SweepResult(rows=rows, outcomes=outcomes, store=store,
                        kernel_db=db, report=report,
                        store_merge=store_stats, db_merge=db_stats,
-                       trace_merge=trace_merge)
+                       trace_merge=trace_merge, replayed=len(prior))
 
 
 def _worker_init() -> None:
@@ -363,41 +501,95 @@ def _worker_init() -> None:
 
 
 def _run_pool(tasks: List[SweepTask], jobs: int, ctx_name: str,
-              queue_depth: int) -> Tuple[List[TaskOutcome], List[float]]:
-    """Bounded-window scheduling over a process pool."""
+              queue_depth: int,
+              journal: Optional[SweepJournal] = None,
+              ) -> Tuple[List[TaskOutcome], List[float]]:
+    """Bounded-window scheduling over a (rebuildable) process pool.
+
+    A SIGKILLed or OOM-killed worker breaks the whole
+    ``ProcessPoolExecutor`` — every in-flight future raises
+    ``BrokenProcessPool``.  Instead of poisoning the sweep, the
+    scheduler drains the broken pool, builds a fresh one, and retries
+    the tasks that were in flight; a task involved in
+    ``_POOL_CRASH_LIMIT`` breakages keeps a synthesized error outcome
+    (it is likely the one crashing the workers) which a journaled
+    resume may retry later.
+    """
     ctx = multiprocessing.get_context(ctx_name)
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
     queue_waits = [0.0] * len(tasks)
-    backlog = list(enumerate(tasks))
-    backlog.reverse()  # pop() from the front of the plan
     max_inflight = jobs * queue_depth
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
-                             initializer=_worker_init) as pool:
-        inflight = {}
+    remaining = list(range(len(tasks)))
+    remaining.reverse()  # pop() from the front of the plan
+    crash_counts = [0] * len(tasks)
 
-        def submit_more() -> None:
-            while backlog and len(inflight) < max_inflight:
-                position, task = backlog.pop()
-                future = pool.submit(run_task, task)
-                inflight[future] = (position, _time.monotonic())
+    def record(position: int, outcome: TaskOutcome) -> None:
+        outcomes[position] = outcome
+        if journal is not None:
+            journal.task_outcome(outcome)
 
-        submit_more()
-        while inflight:
-            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-            for future in done:
-                position, submitted = inflight.pop(future)
-                task = tasks[position]
-                try:
-                    outcome = future.result()
-                except Exception as exc:  # worker died / pool broke
-                    outcome = TaskOutcome(
-                        index=task.index, workload=task.workload,
-                        size=task.size, method=task.method,
-                        status="error", stage="run",
-                        error_class=type(exc).__name__, error=str(exc))
-                else:
-                    queue_waits[position] = max(
-                        0.0, outcome.started - submitted)
-                outcomes[position] = outcome
-            submit_more()
+    def crash_outcome(position: int, exc: BaseException) -> TaskOutcome:
+        task = tasks[position]
+        return TaskOutcome(
+            index=task.index, workload=task.workload,
+            size=task.size, method=task.method,
+            status="error", stage="run",
+            error_class=type(exc).__name__, error=str(exc))
+
+    generations = 0
+    max_generations = _POOL_CRASH_LIMIT * len(tasks) + 2
+    while remaining:
+        generations += 1
+        if generations > max_generations:  # pragma: no cover - backstop
+            for position in remaining:
+                record(position, crash_outcome(
+                    position, RuntimeError("worker pool kept breaking")))
+            break
+        alive = True
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                                 initializer=_worker_init) as pool:
+            inflight: Dict = {}
+
+            def submit_more() -> bool:
+                while remaining and len(inflight) < max_inflight:
+                    position = remaining.pop()
+                    if journal is not None:
+                        journal.task_scheduled(tasks[position])
+                    try:
+                        future = pool.submit(run_task, tasks[position])
+                    except BrokenExecutor:
+                        remaining.append(position)
+                        return False
+                    inflight[future] = (position, _time.monotonic())
+                return True
+
+            alive = submit_more()
+            while inflight:
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    position, submitted = inflight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenExecutor as exc:
+                        # the pool died under this task: retry it in a
+                        # fresh pool unless it keeps killing workers
+                        alive = False
+                        crash_counts[position] += 1
+                        if crash_counts[position] < _POOL_CRASH_LIMIT:
+                            remaining.append(position)
+                        else:
+                            record(position,
+                                   crash_outcome(position, exc))
+                    except Exception as exc:  # task-level failure
+                        record(position, crash_outcome(position, exc))
+                    else:
+                        queue_waits[position] = max(
+                            0.0, outcome.started - submitted)
+                        record(position, outcome)
+                if alive:
+                    alive = submit_more()
+                # once broken, keep draining without submitting; the
+                # executor fails the remaining futures immediately
+        # `with` exit shut the (possibly broken) pool down; loop builds
+        # a fresh one for whatever is still remaining
     return outcomes, queue_waits

@@ -103,7 +103,12 @@ class SweepTask:
             "watchdog": (dataclasses.asdict(self.watchdog)
                          if self.watchdog is not None else None),
             "retry": {"max_attempts": self.retry.max_attempts,
-                      "transient": _transient_names(self.retry)},
+                      "transient": _transient_names(self.retry),
+                      "backoff_base": self.retry.backoff_base,
+                      "backoff_factor": self.retry.backoff_factor,
+                      "backoff_max": self.retry.backoff_max,
+                      "jitter": self.retry.jitter,
+                      "seed": self.retry.seed},
             "trace_store": self.trace_store,
         }
 
@@ -114,6 +119,11 @@ class SweepTask:
             max_attempts=int(retry_data.get("max_attempts", 1)),
             transient=_transient_from_names(
                 list(retry_data.get("transient", []))),
+            backoff_base=float(retry_data.get("backoff_base", 0.0)),
+            backoff_factor=float(retry_data.get("backoff_factor", 2.0)),
+            backoff_max=float(retry_data.get("backoff_max", 30.0)),
+            jitter=float(retry_data.get("jitter", 0.1)),
+            seed=int(retry_data.get("seed", 0)),
         )
         return cls(
             index=int(data["index"]),
@@ -158,6 +168,7 @@ class TaskOutcome:
     kerneldb_payload: Optional[dict] = None
     # telemetry raw material
     attempts: int = 1
+    backoff_total: float = 0.0  # retry backoff seconds slept
     worker: int = 0
     started: float = 0.0   # time.monotonic() at worker pickup
     task_wall: float = 0.0
@@ -199,6 +210,7 @@ class TaskOutcome:
             "store_payload": self.store_payload,
             "kerneldb_payload": self.kerneldb_payload,
             "attempts": self.attempts,
+            "backoff_total": self.backoff_total,
             "worker": self.worker,
             "started": self.started,
             "task_wall": self.task_wall,
@@ -268,7 +280,8 @@ def run_task(task: SweepTask) -> TaskOutcome:
         with scoped_trace_cache(cache), \
                 scoped_batching(batching_enabled()
                                 and task.photon.batched_functional):
-            result, out.attempts = task.retry.run_with_attempts(attempt)
+            result, out.attempts, out.backoff_total = (
+                task.retry.run_logged(attempt))
     except ReproError as exc:
         out.status, out.stage = "error", "run"
         out.error_class, out.error = type(exc).__name__, str(exc)

@@ -33,9 +33,11 @@ class TaskTelemetry:
     task_wall: float = 0.0   # wall seconds spent inside the worker
     sim_wall: float = 0.0    # wall seconds the simulator itself reported
     attempts: int = 1        # retry-policy attempts consumed
+    backoff_total: float = 0.0  # retry backoff seconds slept in the task
     fallbacks: int = 0       # degradation-ledger length of the result
     status: str = "ok"       # "ok" | "error"
     error_class: str = ""    # exception class name when status == "error"
+    replayed: bool = False   # True = served from a sweep journal, not run
 
     @property
     def retries(self) -> int:
@@ -53,9 +55,11 @@ class TaskTelemetry:
             "sim_wall": self.sim_wall,
             "attempts": self.attempts,
             "retries": self.retries,
+            "backoff_total": self.backoff_total,
             "fallbacks": self.fallbacks,
             "status": self.status,
             "error_class": self.error_class,
+            "replayed": self.replayed,
         }
 
     @classmethod
@@ -70,9 +74,11 @@ class TaskTelemetry:
             task_wall=float(data.get("task_wall", 0.0)),
             sim_wall=float(data.get("sim_wall", 0.0)),
             attempts=int(data.get("attempts", 1)),
+            backoff_total=float(data.get("backoff_total", 0.0)),
             fallbacks=int(data.get("fallbacks", 0)),
             status=str(data.get("status", "ok")),
             error_class=str(data.get("error_class", "")),
+            replayed=bool(data.get("replayed", False)),
         )
 
 
@@ -97,6 +103,16 @@ class RunReport:
     @property
     def retries(self) -> int:
         return sum(t.retries for t in self.tasks)
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Total retry backoff slept across all tasks."""
+        return sum(t.backoff_total for t in self.tasks)
+
+    @property
+    def replayed(self) -> int:
+        """Tasks served from a sweep journal instead of re-executed."""
+        return sum(1 for t in self.tasks if t.replayed)
 
     @property
     def fallbacks(self) -> int:
@@ -138,6 +154,8 @@ class RunReport:
             "busy_seconds": self.busy_seconds,
             "utilization": self.utilization(),
             "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "replayed": self.replayed,
             "fallbacks": self.fallbacks,
             "failed": self.failed,
             "mean_queue_wait": self.mean_queue_wait,
@@ -158,4 +176,8 @@ class RunReport:
              f"max {self.max_queue_wait:.3f}s; retries {self.retries}; "
              f"fallbacks {self.fallbacks}; failed {self.failed}"),
         ]
+        if self.replayed:
+            lines.append(
+                f"resume: {self.replayed} tasks replayed from the "
+                f"journal, {self.n_tasks - self.replayed} re-run")
         return "\n".join(lines)

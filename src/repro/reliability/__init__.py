@@ -7,7 +7,9 @@ The reliability layer gives the simulation stack three guarantees:
   the detailed engine and the functional executor;
 * **provable recovery** — :class:`FaultPlan` injects deterministic
   faults at named sites so every degradation path can be exercised by
-  tests;
+  tests, and :class:`FsFaultPlan` extends the same idea to the
+  filesystem (ENOSPC, short writes, torn writes) so every durable-write
+  recovery path can be proven too;
 * **graceful degradation** — the Photon controller falls back
   level-by-level (``bb → warp → kernel → full``) on recoverable errors
   and records each step as a :class:`FallbackEvent` in the result's
@@ -18,6 +20,13 @@ See ``docs/robustness.md`` for the full knob reference.
 """
 
 from .faults import FaultPlan, FaultSpec
+from .fsfaults import (
+    FS_FAULT_MODES,
+    FsFaultPlan,
+    FsFaultSpec,
+    current_fs_faults,
+    scoped_fs_faults,
+)
 from .ledger import FALLBACK_CHAIN, FallbackEvent
 from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy
 from .watchdog import Watchdog, WatchdogConfig
@@ -25,11 +34,16 @@ from .watchdog import Watchdog, WatchdogConfig
 __all__ = [
     "DEFAULT_RETRY",
     "FALLBACK_CHAIN",
+    "FS_FAULT_MODES",
     "FaultPlan",
     "FaultSpec",
     "FallbackEvent",
+    "FsFaultPlan",
+    "FsFaultSpec",
     "NO_RETRY",
     "RetryPolicy",
     "Watchdog",
     "WatchdogConfig",
+    "current_fs_faults",
+    "scoped_fs_faults",
 ]

@@ -23,6 +23,12 @@ Instrumented sites (see ``docs/robustness.md``):
 ``harness.method``
     Start of one method's run inside the evaluation harness (the
     ``kernel`` filter matches the *method* name here).
+
+Filesystem sites (``persist.store``, ``tracestore.bundle``,
+``sweep.journal``) are armed by the durable-write layer through the
+companion :class:`~repro.reliability.fsfaults.FsFaultPlan`, which
+models ENOSPC / short / torn writes rather than raising at a logic
+site — see ``docs/durability.md``.
 """
 
 from __future__ import annotations

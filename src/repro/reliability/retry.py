@@ -1,4 +1,4 @@
-"""Bounded retry for transient reliability trips.
+"""Bounded retry with deterministic exponential backoff.
 
 Watchdog budgets are deliberately conservative: a sweep sharing one
 deadline across many methods can trip on a method that would succeed
@@ -6,10 +6,26 @@ given a second, uncontended attempt.  :class:`RetryPolicy` bounds how
 many times the harness re-runs a failed method and which error classes
 are considered transient — everything else fails fast on the first
 attempt.
+
+Between attempts the policy sleeps an exponentially growing backoff
+(``backoff_base * backoff_factor**(attempt-1)``, capped at
+``backoff_max``) with **deterministic, seeded jitter**: the jitter for
+attempt *k* is a pure function of ``(seed, k)``, so two runs of the
+same policy back off identically — sweeps stay reproducible down to
+their retry schedule.  ``backoff_base`` defaults to 0 (no sleeping),
+preserving the historic fail-fast-retry behaviour.
+
+Every absorbed transient failure emits a ``reliability.retry`` bus
+event carrying the attempt number, the backoff about to be slept and
+the error class, and bumps the ``reliability.retries`` counter;
+:func:`RetryPolicy.run_logged` additionally reports the attempt count
+and total backoff so sweep telemetry can surface them per task.
 """
 
 from __future__ import annotations
 
+import random
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Tuple, Type, TypeVar
 
@@ -19,6 +35,7 @@ from ..errors import (
     ReproError,
     SimulationStalled,
 )
+from ..obs import RELIABILITY_RETRY, current_bus
 
 T = TypeVar("T")
 
@@ -30,30 +47,77 @@ class RetryPolicy:
     max_attempts: int = 2
     transient: Tuple[Type[ReproError], ...] = (BudgetExceeded,
                                                SimulationStalled)
+    backoff_base: float = 0.0    # seconds before attempt 2 (0 = no sleep)
+    backoff_factor: float = 2.0  # exponential growth per further attempt
+    backoff_max: float = 30.0    # ceiling on any single backoff
+    jitter: float = 0.1          # +/- fraction, deterministic from seed
+    seed: int = 0                # jitter seed (same seed → same schedule)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigError(
                 f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.backoff_base < 0:
+            raise ConfigError(
+                f"backoff_base must be >= 0, got {self.backoff_base!r}")
+        if self.backoff_factor < 1:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got "
+                f"{self.backoff_factor!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(
+                f"jitter must be in [0, 1], got {self.jitter!r}")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff slept after failed attempt ``attempt`` (1-based).
+
+        Pure function of ``(policy, attempt)``: the jitter is drawn
+        from a PRNG seeded with ``(seed, attempt)``, so the schedule is
+        reproducible across processes and runs.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = min(self.backoff_max,
+                    self.backoff_base * self.backoff_factor
+                    ** (attempt - 1))
+        if self.jitter > 0:
+            rng = random.Random((self.seed << 20) ^ attempt)
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
     def run(self, fn: Callable[[], T]) -> T:
         """Call ``fn``, retrying transient failures up to the bound."""
-        return self.run_with_attempts(fn)[0]
+        return self.run_logged(fn)[0]
 
     def run_with_attempts(self, fn: Callable[[], T]) -> Tuple[T, int]:
-        """Like :meth:`run`, also reporting how many attempts were used.
+        """Like :meth:`run`, also reporting how many attempts were used."""
+        result, attempts, _backoff = self.run_logged(fn)
+        return result, attempts
 
-        The attempt count feeds sweep telemetry: a cell that needed a
-        retry to pass is worth flagging even though it succeeded.
+    def run_logged(self, fn: Callable[[], T]) -> Tuple[T, int, float]:
+        """Run ``fn``, reporting ``(result, attempts, backoff_total)``.
+
+        The attempt count and backoff total feed sweep telemetry: a
+        cell that needed a retry (or slept its way past a transient
+        trip) is worth flagging even though it succeeded.
         """
         attempt = 0
+        backoff_total = 0.0
         while True:
             attempt += 1
             try:
-                return fn(), attempt
-            except self.transient:
+                return fn(), attempt, backoff_total
+            except self.transient as exc:
                 if attempt >= self.max_attempts:
                     raise
+                delay = self.backoff_for(attempt)
+                bus = current_bus()
+                bus.emit(RELIABILITY_RETRY, attempt, delay,
+                         type(exc).__name__)
+                bus.metrics.counter("reliability.retries").inc()
+                if delay > 0:
+                    _time.sleep(delay)
+                backoff_total += delay
 
 
 #: policy used when the caller does not care: one retry on budget trips

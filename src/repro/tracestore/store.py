@@ -12,9 +12,10 @@ blobs::
 
 The hardening contract matches ``core.persist`` v2:
 
-* **atomic writes** — bundles are written to a temp file in the same
-  directory and ``os.replace``-d into place; readers never see a
-  half-written bundle;
+* **atomic, durable writes** — bundles go through
+  :func:`repro.durable.durable_replace` (temp file + fsync +
+  ``os.replace`` + directory fsync); readers never see a half-written
+  bundle and a completed write survives power loss;
 * **format version** — an unsupported ``version`` quarantines the whole
   bundle (every entry becomes a miss), it never raises;
 * **sha256 checksums** — the header carries its own checksum and every
@@ -45,12 +46,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import shutil
-import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..durable import durable_replace
 from ..functional.kernel import Kernel
 from ..functional.trace import WarpTrace
 from .format import (
@@ -191,7 +191,7 @@ def _parse_bundle(raw: bytes, expect_key: Optional[TraceKey]) -> _BundleData:
 
 def _write_bundle(path: Path, key: TraceKey,
                   blobs: Dict[int, bytes]) -> None:
-    """Atomically write a bundle (tmp file + ``os.replace``)."""
+    """Atomically and durably write a bundle (``durable_replace``)."""
     entries: List[Dict[str, object]] = []
     parts: List[bytes] = []
     offset = 0
@@ -216,18 +216,7 @@ def _write_bundle(path: Path, key: TraceKey,
                           separators=(",", ":")).encode("utf-8")
                + b"\n" + b"".join(parts))
     path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
-                                    prefix=path.name, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-        os.replace(tmp_name, str(path))
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    durable_replace(payload, path, site="tracestore.bundle")
 
 
 class KernelTraces:
