@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Benchmark PhotonServe: cold vs warm vs deduplicated serving.
+
+Starts a real ``repro serve`` subprocess (worker pool, real sockets)
+and measures the three serving regimes the subsystem exists for:
+
+* **cold** — the first request for each (workload, size, method) key
+  pays a full execution in the worker tier;
+* **warm** — an identical repeat is answered from the result cache
+  without touching the tier (the gate: ``--min-warm-speedup X``
+  requires cold/warm median latency ratio >= X);
+* **dedup** — N concurrent identical requests for a *fresh* key
+  coalesce onto one execution; everyone waits roughly one execution,
+  not N.
+
+Writes ``BENCH_serve.json``.  ``--smoke`` shrinks the workload for the
+CI fast lane and additionally *requires* that the dedup run coalesced
+at least one request (the serve smoke contract).
+
+    PYTHONPATH=src python scripts/bench_serve.py
+    PYTHONPATH=src python scripts/bench_serve.py --smoke
+    PYTHONPATH=src python scripts/bench_serve.py --min-warm-speedup 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+COLD_CELLS = (("relu", 512), ("fir", 512), ("sc", 512))
+COLD_CELLS_SMOKE = (("relu", 128), ("fir", 128))
+DEDUP_CELL = ("spmv", 256)
+DEDUP_CLIENTS = 8
+
+
+def start_server(*flags: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *flags],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env, cwd=str(REPO_ROOT))
+    line = proc.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"serve did not announce a port: {line!r}")
+    return proc, ServeClient(match.group(1), int(match.group(2)),
+                             timeout=300)
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny cells for the CI fast lane; also "
+                             "requires dedup coalescing > 0")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="server worker processes (default 1)")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if median cold/warm latency "
+                             "ratio falls below X")
+    args = parser.parse_args(argv)
+
+    cells = COLD_CELLS_SMOKE if args.smoke else COLD_CELLS
+    proc, client = start_server("--jobs", str(args.jobs),
+                                "--queue-limit", "64")
+    try:
+        client.health()
+
+        # -- cold: every key is a first sight, tier executes --
+        cold_walls = []
+        for workload, size in cells:
+            wall, result = timed(
+                lambda w=workload, s=size: client.run(w, s, "photon"))
+            assert result["cache"] == "miss", result["cache"]
+            cold_walls.append(wall)
+            print(f"cold  {workload}/{size}: {wall * 1000.0:.1f}ms")
+
+        # -- warm: identical repeats, served from the result cache --
+        warm_walls = []
+        for workload, size in cells:
+            wall, result = timed(
+                lambda w=workload, s=size: client.run(w, s, "photon"))
+            assert result["cache"] == "hit", result["cache"]
+            warm_walls.append(wall)
+            print(f"warm  {workload}/{size}: {wall * 1000.0:.1f}ms")
+
+        cold_median = statistics.median(cold_walls)
+        warm_median = statistics.median(warm_walls)
+        warm_speedup = (cold_median / warm_median
+                        if warm_median > 0 else float("inf"))
+        print(f"warm speedup: median {cold_median * 1000.0:.1f}ms / "
+              f"{warm_median * 1000.0:.1f}ms = {warm_speedup:.1f}x")
+
+        # -- dedup: N concurrent identical requests, one execution --
+        workload, size = DEDUP_CELL
+        before = client.stats()["counts"]["executions"]
+        with ThreadPoolExecutor(max_workers=DEDUP_CLIENTS) as pool:
+            t0 = time.perf_counter()
+            futures = [pool.submit(client.run, workload, size, "photon")
+                       for _ in range(DEDUP_CLIENTS)]
+            results = [f.result() for f in futures]
+            dedup_wall = time.perf_counter() - t0
+        kinds = [r["cache"] for r in results]
+        executions = client.stats()["counts"]["executions"] - before
+        deduped = kinds.count("dedup")
+        identical = all(r["result"] == results[0]["result"]
+                        for r in results)
+        print(f"dedup {workload}/{size}: {DEDUP_CLIENTS} concurrent "
+              f"clients -> {executions} execution(s), {deduped} "
+              f"coalesced, {kinds.count('hit')} cache hits, "
+              f"{dedup_wall * 1000.0:.1f}ms total")
+
+        stats = client.stats()
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=60)
+        drained_clean = proc.returncode == 0
+        print(f"drain: exit {proc.returncode}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+    record = {
+        "smoke": args.smoke,
+        "jobs": args.jobs,
+        "cells": [list(cell) for cell in cells],
+        "cold_walls": cold_walls,
+        "warm_walls": warm_walls,
+        "cold_median": cold_median,
+        "warm_median": warm_median,
+        "warm_speedup": warm_speedup,
+        "dedup": {
+            "cell": list(DEDUP_CELL),
+            "clients": DEDUP_CLIENTS,
+            "executions": executions,
+            "coalesced": deduped,
+            "kinds": kinds,
+            "identical_results": identical,
+            "wall": dedup_wall,
+        },
+        "drained_clean": drained_clean,
+        "final_counts": stats["counts"],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if executions != 1:
+        print(f"FAIL: {DEDUP_CLIENTS} identical concurrent requests "
+              f"caused {executions} executions (want 1)",
+              file=sys.stderr)
+        return 1
+    if not identical:
+        print("FAIL: coalesced responses were not identical",
+              file=sys.stderr)
+        return 1
+    if not drained_clean:
+        print("FAIL: server did not drain cleanly on SIGTERM",
+              file=sys.stderr)
+        return 1
+    if args.smoke and deduped < 1:
+        print("FAIL: smoke run saw no dedup coalescing",
+              file=sys.stderr)
+        return 1
+    if (args.min_warm_speedup is not None
+            and warm_speedup < args.min_warm_speedup):
+        print(f"FAIL: warm speedup {warm_speedup:.2f}x < required "
+              f"{args.min_warm_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

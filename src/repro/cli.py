@@ -13,6 +13,7 @@ scripts:
     python -m repro sweep --resume runs/nightly --jobs 4
     python -m repro run relu --trace relu.jsonl --metrics
     python -m repro trace export relu.jsonl relu.json
+    python -m repro serve --jobs 4 --trace-store traces/
     python -m repro list
 
 Observability (see ``docs/observability.md``): ``--trace FILE``
@@ -173,6 +174,52 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("output",
                         help="Chrome-trace JSON path ('-' for stdout)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve simulation requests over HTTP (see docs/serve.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8630,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(the bound port is printed on startup)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="execution worker processes (0 = inline "
+                            "thread, for tests)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       metavar="N", dest="queue_limit",
+                       help="queued executions before 429 (default 32)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N", dest="max_inflight",
+                       help="concurrent executions (default: --jobs)")
+    serve.add_argument("--tenant-rate", type=float, default=0.0,
+                       metavar="R", dest="tenant_rate",
+                       help="per-tenant sustained requests/second "
+                            "(0 = unlimited)")
+    serve.add_argument("--tenant-burst", type=float, default=8.0,
+                       metavar="B", dest="tenant_burst",
+                       help="per-tenant burst allowance (default 8)")
+    serve.add_argument("--tenant-max-inflight", type=int, default=0,
+                       metavar="N", dest="tenant_max_inflight",
+                       help="per-tenant concurrent requests "
+                            "(0 = uncapped)")
+    serve.add_argument("--result-cache", type=int, default=1024,
+                       metavar="N", dest="result_cache",
+                       help="cached deterministic results (default 1024)")
+    serve.add_argument("--trace-store", default=None, metavar="DIR",
+                       dest="trace_store",
+                       help="shared persistent warp-trace store")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       dest="state_dir",
+                       help="journal requests shed during drain to "
+                            "DIR/pending.jsonl")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       metavar="S", dest="drain_grace",
+                       help="seconds to let in-flight work finish on "
+                            "SIGTERM (default 30)")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the event/counter summary to stderr "
+                            "after drain")
+
     sub.add_parser("list", help="list workloads, apps and methods")
     return parser
 
@@ -286,10 +333,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "trace":
             return _trace_export(args)
+        if args.command == "serve":
+            return _serve(args)
         return _run(args)
     except ReproError as exc:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run PhotonServe until SIGTERM/SIGINT, then drain gracefully."""
+    import asyncio
+
+    from .serve import PhotonServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        queue_limit=args.queue_limit, max_inflight=args.max_inflight,
+        tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst,
+        tenant_max_inflight=args.tenant_max_inflight,
+        result_cache=args.result_cache, trace_store=args.trace_store,
+        state_dir=args.state_dir, drain_grace=args.drain_grace)
+    server = PhotonServer(config)
+    counting = CountingSink()
+    server.bus.add_sink(counting, kinds=list(CORE_KINDS))
+
+    def announce(host: str, port: int) -> None:
+        # the exact line tooling parses to find an ephemeral port
+        print(f"PhotonServe listening on http://{host}:{port}",
+              flush=True)
+
+    try:
+        stats = asyncio.run(server.run(announce=announce))
+    finally:
+        server.bus.remove_sink(counting)
+    print(f"drained: {json.dumps(stats['counts'], sort_keys=True)}",
+          file=sys.stderr)
+    if args.metrics:
+        print("-- observability --", file=sys.stderr)
+        for kind, count in sorted(counting.counts.items()):
+            print(f"event {kind}: {count}", file=sys.stderr)
+        counters = server.bus.metrics.snapshot()["counters"]
+        for name in sorted(counters):
+            print(f"counter {name}: {counters[name]}", file=sys.stderr)
+    return 0
 
 
 def _trace_export(args: argparse.Namespace) -> int:

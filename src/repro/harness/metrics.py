@@ -79,6 +79,10 @@ class Comparison:
     def speedup(self) -> float:
         if self.error_class:
             return float("nan")
+        if self.sampled_wall <= 0:
+            # no host timing recorded — e.g. a row rebuilt from a cached
+            # deterministic result, where wall clocks are stripped
+            return float("nan")
         return wall_speedup(self.full_wall, self.sampled_wall)
 
     def to_dict(self) -> Dict[str, object]:

@@ -60,11 +60,13 @@ def comparison_table(rows: Iterable[Comparison],
         cells = [
             row.workload, row.size, row.method,
             row.sampled_time, row.error_pct,
-            row.sampled_wall, row.speedup, row.mode,
-            row.detail_fraction,
         ]
-        if deterministic:
-            del cells[5:7]  # sampled_wall, speedup
+        if not deterministic:
+            # only touch the wall-clock properties when they are shown:
+            # rows rebuilt from cached deterministic results carry no
+            # host timing, and speedup would (rightly) refuse wall=0
+            cells += [row.sampled_wall, row.speedup]
+        cells += [row.mode, row.detail_fraction]
         if with_status:
             cells.append(row.error_class or "ok")
         body.append(cells)

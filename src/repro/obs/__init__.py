@@ -69,6 +69,9 @@ from .events import (
     RELIABILITY_FAULT,
     RELIABILITY_RETRY,
     RELIABILITY_WATCHDOG,
+    SERVE_DEDUP,
+    SERVE_QUEUE,
+    SERVE_REQUEST,
     SWEEP_JOURNAL,
     SWEEP_RESUME,
     TRACESTORE_EVICT,
@@ -118,6 +121,9 @@ __all__ = [
     "RELIABILITY_FAULT",
     "RELIABILITY_RETRY",
     "RELIABILITY_WATCHDOG",
+    "SERVE_DEDUP",
+    "SERVE_QUEUE",
+    "SERVE_REQUEST",
     "SWEEP_JOURNAL",
     "SWEEP_RESUME",
     "Sink",

@@ -156,6 +156,25 @@ PARALLEL_TASK = EventType(
      "t0", "t1"),
     "One executed sweep task (mirrors TaskTelemetry).")
 
+# -- serving front end (PhotonServe) ---------------------------------------
+
+SERVE_REQUEST = EventType(
+    "serve.request",
+    ("req", "tenant", "op", "key", "status", "cache", "wall"),
+    "One served request completed: HTTP status, cache disposition "
+    "('hit', 'dedup', 'miss', or '' for non-simulation ops) and host "
+    "wall seconds.")
+SERVE_DEDUP = EventType(
+    "serve.dedup", ("key", "waiters"),
+    "A request attached to an identical in-flight execution instead "
+    "of starting its own (single-flight coalescing).")
+SERVE_QUEUE = EventType(
+    "serve.queue", ("key", "action", "depth"),
+    "Admission-queue transition for one request key: 'enqueue' "
+    "(waiting for an execution slot), 'start' (slot acquired), "
+    "'done', 'reject' (backpressure 429), or 'drain' (journaled "
+    "during shutdown).")
+
 # -- crash-safe sweep journal (DuraSweep) ----------------------------------
 
 SWEEP_JOURNAL = EventType(
@@ -179,6 +198,7 @@ ALL_TYPES: Dict[str, EventType] = {
         TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
         RELIABILITY_RETRY, PARALLEL_TASK, SWEEP_JOURNAL, SWEEP_RESUME,
+        SERVE_REQUEST, SERVE_DEDUP, SERVE_QUEUE,
     )
 }
 
@@ -198,5 +218,6 @@ CORE_KINDS = tuple(
         TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
         RELIABILITY_RETRY, PARALLEL_TASK, SWEEP_JOURNAL, SWEEP_RESUME,
+        SERVE_REQUEST, SERVE_DEDUP, SERVE_QUEUE,
     )
 )

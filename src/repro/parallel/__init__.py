@@ -45,8 +45,10 @@ from .scheduler import (
 )
 from .tasks import FULL_METHOD, SweepTask, TaskOutcome, run_task
 from .telemetry import RunReport, TaskTelemetry
+from .tier import ExecutionTier, worker_init
 
 __all__ = [
+    "ExecutionTier",
     "FULL_METHOD",
     "JOURNAL_NAME",
     "JournalScan",
@@ -62,4 +64,5 @@ __all__ = [
     "run_sweep",
     "run_task",
     "scan_journal",
+    "worker_init",
 ]

@@ -61,14 +61,15 @@ from ..errors import ConfigError, SamplingError, WorkloadError
 from ..harness.defaults import EVAL_PHOTON, QUICK_SIZES
 from ..harness.metrics import Comparison, compare_kernels, failed_row
 from ..harness.runner import _check_methods
-from ..obs import PARALLEL_TASK, SWEEP_RESUME, current_bus, \
-    reset_default_bus
+from ..obs import PARALLEL_TASK, SWEEP_RESUME, current_bus
 from ..reliability.retry import NO_RETRY, RetryPolicy
 from ..reliability.watchdog import WatchdogConfig
 from ..workloads.base import REGISTRY
 from .journal import SweepJournal
 from .tasks import FULL_METHOD, SweepTask, TaskOutcome, run_task
 from .telemetry import RunReport, TaskTelemetry
+from .tier import default_context as _default_context
+from .tier import worker_init as _worker_init
 
 SizesSpec = Union[None, Sequence[int], Mapping[str, Sequence[int]]]
 
@@ -165,6 +166,21 @@ class SweepResult:
     # tasks replayed from a sweep journal instead of re-executed
     replayed: int = 0
 
+    def tracestore_totals(self) -> Dict[str, int]:
+        """Sweep-wide trace-cache traffic, summed over task outcomes.
+
+        The counters live on each worker's private bus, so the parent
+        cannot read them there; tasks ship their own totals back on the
+        outcome instead (all zero when no trace store was configured).
+        """
+        totals = {"hits": 0, "store_hits": 0, "misses": 0, "writes": 0}
+        for outcome in self.outcomes:
+            totals["hits"] += outcome.trace_hits
+            totals["store_hits"] += outcome.trace_store_hits
+            totals["misses"] += outcome.trace_misses
+            totals["writes"] += outcome.trace_writes
+        return totals
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe run record: rows + telemetry + merge statistics.
 
@@ -177,6 +193,8 @@ class SweepResult:
             "store_merge": self.store_merge.to_dict(),
             "db_merge": self.db_merge.to_dict(),
             "trace_merge": self.trace_merge,
+            "tracestore": self.tracestore_totals(),
+            "backoff_total": self.report.backoff_seconds,
             "store_entries": len(self.store),
             "kernel_records": (len(self.kernel_db)
                                if self.kernel_db is not None else 0),
@@ -276,11 +294,6 @@ def _with_deadline(watchdog: Optional[WatchdogConfig],
     if watchdog.deadline_seconds is not None:
         deadline = min(watchdog.deadline_seconds, deadline)
     return dataclasses.replace(watchdog, deadline_seconds=deadline)
-
-
-def _default_context() -> str:
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
 
 
 def run_sweep(
@@ -481,23 +494,6 @@ def _execute(
                        kernel_db=db, report=report,
                        store_merge=store_stats, db_merge=db_stats,
                        trace_merge=trace_merge, replayed=len(prior))
-
-
-def _worker_init() -> None:
-    """Give each pool worker a pristine default bus.
-
-    A fork-started worker inherits the parent's default bus, including
-    any open file sinks — concurrent writes from several processes
-    would interleave garbage into the parent's trace.  Workers observe
-    nothing by default; the parent re-emits their telemetry as
-    ``parallel.task`` events after the merge.  The inherited default
-    trace cache is dropped too: each task installs its own staged,
-    store-backed cache from ``SweepTask.trace_store``.
-    """
-    reset_default_bus()
-    from ..timing.tracecache import set_default_trace_cache
-
-    set_default_trace_cache(None)
 
 
 def _run_pool(tasks: List[SweepTask], jobs: int, ctx_name: str,

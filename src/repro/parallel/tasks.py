@@ -166,6 +166,13 @@ class TaskOutcome:
     # worker-local reusable state, shipped back for the merge
     store_payload: Optional[dict] = None
     kerneldb_payload: Optional[dict] = None
+    # trace-cache traffic of this task (zero without a trace store);
+    # counters live on the worker's private bus, so the numbers ride
+    # back here for the parent's --json summary
+    trace_hits: int = 0        # served from the in-memory cache
+    trace_store_hits: int = 0  # replayed from the backing store
+    trace_misses: int = 0      # functionally emulated
+    trace_writes: int = 0      # newly persisted warps (flush)
     # telemetry raw material
     attempts: int = 1
     backoff_total: float = 0.0  # retry backoff seconds slept
@@ -209,6 +216,10 @@ class TaskOutcome:
             "fallbacks": list(self.fallbacks),
             "store_payload": self.store_payload,
             "kerneldb_payload": self.kerneldb_payload,
+            "trace_hits": self.trace_hits,
+            "trace_store_hits": self.trace_store_hits,
+            "trace_misses": self.trace_misses,
+            "trace_writes": self.trace_writes,
             "attempts": self.attempts,
             "backoff_total": self.backoff_total,
             "worker": self.worker,
@@ -291,7 +302,10 @@ def run_task(task: SweepTask) -> TaskOutcome:
         if cache is not None:
             # persist even partial attempts: traces are deterministic,
             # so anything emulated is worth sharing with later tasks
-            cache.flush()
+            out.trace_writes = cache.flush()
+            out.trace_hits = cache.hits
+            out.trace_store_hits = cache.store_hits
+            out.trace_misses = cache.misses
 
     out.sim_time = result.sim_time
     out.wall_seconds = result.wall_seconds

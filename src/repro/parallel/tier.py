@@ -1,0 +1,188 @@
+"""ParSweep's worker pool as an embeddable, long-lived execution tier.
+
+:func:`~repro.parallel.scheduler.run_sweep` owns a process pool for the
+duration of one sweep; a serving front end (:mod:`repro.serve`) needs
+the same execution machinery — isolated workers running
+:func:`~repro.parallel.tasks.run_task`, broken-pool recovery, the
+pristine-bus worker initialiser — but with a *submit one task, await
+its outcome* surface that stays up across requests.
+:class:`ExecutionTier` packages exactly that:
+
+* ``jobs >= 1`` schedules tasks over a ``ProcessPoolExecutor`` built
+  with the same fork-friendly context and :func:`worker_init` the sweep
+  scheduler uses, so a tier worker is indistinguishable from a sweep
+  worker (fresh silent bus, no inherited default trace cache);
+* a SIGKILLed/OOM-killed worker breaks the whole pool —
+  :meth:`ExecutionTier.run` transparently rebuilds it and retries the
+  task, bounded by ``crash_limit``, then synthesizes an error outcome
+  (mirroring the sweep scheduler's broken-pool policy);
+* ``jobs == 0`` runs tasks on a single in-process thread — no fork, no
+  pickling — for tests, smoke runs and debugging.  Simulated results
+  are identical either way (the determinism contract).
+
+The tier never raises for task-level failures: :func:`run_task` already
+folds those into error outcomes.  Only caller bugs (submitting after
+shutdown) escape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Optional
+
+from ..errors import ConfigError
+from ..obs import reset_default_bus
+from .tasks import SweepTask, TaskOutcome, run_task
+
+
+def worker_init() -> None:
+    """Give each pool worker a pristine default bus.
+
+    A fork-started worker inherits the parent's default bus, including
+    any open file sinks — concurrent writes from several processes
+    would interleave garbage into the parent's trace.  Workers observe
+    nothing by default; the parent re-emits their telemetry after the
+    merge.  The inherited default trace cache is dropped too: each task
+    installs its own staged, store-backed cache from
+    ``SweepTask.trace_store``.
+    """
+    reset_default_bus()
+    from ..timing.tracecache import set_default_trace_cache
+
+    set_default_trace_cache(None)
+
+
+def default_context() -> str:
+    """Prefer fork (cheap, shares loaded numpy) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ExecutionTier:
+    """A rebuildable worker pool executing :class:`SweepTask` shards."""
+
+    def __init__(self, jobs: int = 1, mp_context: Optional[str] = None,
+                 crash_limit: int = 2):
+        if jobs < 0:
+            raise ConfigError(f"jobs must be >= 0, got {jobs!r}")
+        if crash_limit < 1:
+            raise ConfigError(
+                f"crash_limit must be >= 1, got {crash_limit!r}")
+        self.jobs = jobs
+        self.mp_context = mp_context or default_context()
+        self.crash_limit = crash_limit
+        self.rebuilds = 0   # broken pools replaced over the tier's life
+        self.executed = 0   # tasks that ran to an outcome (ok or error)
+        self._lock = threading.Lock()
+        self._pool = None
+        self._closed = False
+
+    # -- pool management ---------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Concurrent task capacity (1 for the inline thread tier)."""
+        return max(1, self.jobs)
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._closed:
+                raise ConfigError("execution tier is shut down")
+            if self._pool is None:
+                if self.jobs == 0:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=1,
+                        thread_name_prefix="repro-serve-inline")
+                else:
+                    ctx = multiprocessing.get_context(self.mp_context)
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.jobs, mp_context=ctx,
+                        initializer=worker_init)
+            return self._pool
+
+    def _rebuild(self, broken) -> None:
+        """Replace a broken pool (the old one is shut down, not joined)."""
+        with self._lock:
+            if self._pool is broken and not self._closed:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+                self.rebuilds += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    # -- execution ---------------------------------------------------------
+
+    def submit(self, task: SweepTask) -> Future:
+        """Schedule one task; the future resolves to its TaskOutcome.
+
+        Raises ``BrokenExecutor`` straight through — callers that want
+        the rebuild-and-retry policy use :meth:`run` / :meth:`run_sync`.
+        """
+        return self._ensure_pool().submit(run_task, task)
+
+    def run_sync(self, task: SweepTask) -> TaskOutcome:
+        """Execute one task, absorbing broken pools (blocking form)."""
+        last: Optional[BaseException] = None
+        for _attempt in range(self.crash_limit):
+            pool = self._ensure_pool()
+            try:
+                outcome = pool.submit(run_task, task).result()
+            except BrokenExecutor as exc:
+                last = exc
+                self._rebuild(pool)
+                continue
+            self.executed += 1
+            return outcome
+        self.executed += 1
+        return _crash_outcome(task, last)
+
+    async def run(self, task: SweepTask) -> TaskOutcome:
+        """Execute one task from asyncio, absorbing broken pools.
+
+        The awaiting coroutine may be cancelled freely: the underlying
+        pool future keeps running (process workers cannot be
+        interrupted mid-task anyway) and its result is simply dropped.
+        """
+        last: Optional[BaseException] = None
+        for _attempt in range(self.crash_limit):
+            pool = self._ensure_pool()
+            try:
+                future = pool.submit(run_task, task)
+            except BrokenExecutor as exc:
+                last = exc
+                self._rebuild(pool)
+                continue
+            try:
+                outcome = await asyncio.wrap_future(future)
+            except BrokenExecutor as exc:
+                last = exc
+                self._rebuild(pool)
+                continue
+            self.executed += 1
+            return outcome
+        self.executed += 1
+        return _crash_outcome(task, last)
+
+
+def _crash_outcome(task: SweepTask,
+                   exc: Optional[BaseException]) -> TaskOutcome:
+    """Synthesize the error outcome for a task that kept breaking pools."""
+    exc = exc if exc is not None else RuntimeError("worker pool broken")
+    return TaskOutcome(
+        index=task.index, workload=task.workload, size=task.size,
+        method=task.method, status="error", stage="run",
+        error_class=type(exc).__name__,
+        error=str(exc) or "worker pool kept breaking")

@@ -1,0 +1,71 @@
+"""PhotonServe: sampled simulation as a long-lived service.
+
+Photon's kernel-level sampling makes one simulation request cheap
+enough to answer interactively, the content-addressed trace store
+(TraceForge) makes identical requests pure cache hits, and ParSweep's
+worker pool gives an isolated execution tier.  This package is the
+front door that connects them: an asyncio HTTP/JSONL server
+(:class:`PhotonServer`) that
+
+* canonicalizes every simulation request into a TraceKey-derived
+  :func:`request_key` — two requests naming the same (program, data,
+  grid, method, configuration) share one identity no matter how they
+  were phrased;
+* serves repeat requests straight from a bounded in-memory result
+  cache (results are deterministic, so a cached answer is *the*
+  answer) backed by the shared on-disk
+  :class:`~repro.tracestore.TraceStore`;
+* coalesces identical in-flight requests onto a single execution
+  (:class:`SingleFlight` dedup) — N concurrent users of one kernel pay
+  for one simulation;
+* dispatches misses to an :class:`~repro.parallel.ExecutionTier`
+  worker pool through a bounded admission queue with explicit
+  backpressure (HTTP 429 + ``Retry-After``), per-tenant token-bucket
+  rate limits and max-inflight caps;
+* streams per-request progress as server-sent JSONL lines by bridging
+  the SimScope event bus (``serve.*`` kinds) onto the response;
+* drains gracefully on SIGTERM: in-flight work finishes, queued work
+  is journaled for later replay, new work is refused with 503.
+
+See ``docs/serve.md`` for the wire protocol and operational knobs.
+Typical use::
+
+    from repro.serve import PhotonServer, ServeConfig
+
+    server = PhotonServer(ServeConfig(port=8630, jobs=4))
+    asyncio.run(server.run())          # serves until SIGTERM/SIGINT
+
+or from the command line: ``python -m repro serve --jobs 4``.
+"""
+
+from .app import PhotonServer, ServeConfig
+from .client import ServeClient, ServeHTTPError
+from .dedup import SingleFlight
+from .lifecycle import DrainController, Drained
+from .protocol import (
+    ProtocolError,
+    ServeRequest,
+    deterministic_result,
+    normalize_request,
+    request_key,
+)
+from .quotas import TenantQuotas, TokenBucket
+from .queue import AdmissionQueue
+
+__all__ = [
+    "AdmissionQueue",
+    "DrainController",
+    "Drained",
+    "PhotonServer",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeHTTPError",
+    "ServeRequest",
+    "SingleFlight",
+    "TenantQuotas",
+    "TokenBucket",
+    "deterministic_result",
+    "normalize_request",
+    "request_key",
+]

@@ -1,0 +1,102 @@
+"""Single-flight request coalescing.
+
+When several concurrent requests resolve to the same
+:func:`~repro.serve.protocol.request_key`, exactly one execution runs;
+the rest *attach* to it and receive the same result object.  This is
+the serving-layer twin of the trace store: the store removes repeated
+work across time, single-flight removes it across concurrent users.
+
+Cancellation semantics (the part that is easy to get wrong):
+
+* the execution runs in its **own** asyncio task, owned by the
+  :class:`SingleFlight` registry — not by whichever request happened
+  to arrive first;
+* every requester, leader included, awaits the shared future through
+  ``asyncio.shield``, so a disconnecting client cancels only its own
+  wait.  The execution keeps running and its result still lands in the
+  server's result cache — work already paid for is never discarded;
+* an execution *failure* is delivered to every attached waiter (each
+  gets the same exception), and the flight is forgotten so the next
+  identical request retries fresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+
+class _Flight:
+    """One in-flight execution and its attached waiters."""
+
+    __slots__ = ("key", "future", "waiters", "task")
+
+    def __init__(self, key: str, future: "asyncio.Future"):
+        self.key = key
+        self.future = future
+        self.waiters = 0      # requests attached beyond the initiator
+        self.task: Optional[asyncio.Task] = None
+
+
+class SingleFlight:
+    """Coalesce concurrent executions of the same request key."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, _Flight] = {}
+        self.coalesced = 0    # total waiters that attached to a flight
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def flight(self, key: str) -> Optional[_Flight]:
+        """The in-flight execution for ``key``, if any (peek only)."""
+        return self._inflight.get(key)
+
+    async def run(self, key: str,
+                  thunk: Callable[[], Awaitable]) -> Tuple[object, bool]:
+        """Await ``key``'s result, starting ``thunk()`` if nobody has.
+
+        Returns ``(result, shared)`` where ``shared`` is True when this
+        caller attached to an execution someone else started.  There is
+        no await between the registry check and the flight registration,
+        so two same-key callers in the same event-loop tick still
+        coalesce.
+        """
+        flight = self._inflight.get(key)
+        if flight is None:
+            loop = asyncio.get_running_loop()
+            flight = _Flight(key, loop.create_future())
+            self._inflight[key] = flight
+            flight.task = loop.create_task(self._drive(flight, thunk))
+            shared = False
+        else:
+            flight.waiters += 1
+            self.coalesced += 1
+            shared = True
+        return await asyncio.shield(flight.future), shared
+
+    async def _drive(self, flight: _Flight,
+                     thunk: Callable[[], Awaitable]) -> None:
+        """Run the execution and publish its result to the flight."""
+        try:
+            result = await thunk()
+        except BaseException as exc:  # delivered to every waiter
+            if not flight.future.cancelled():
+                flight.future.set_exception(exc)
+                # if every waiter was cancelled, nobody retrieves the
+                # exception; mark it retrieved so asyncio stays quiet
+                flight.future.exception()
+        else:
+            if not flight.future.cancelled():
+                flight.future.set_result(result)
+        finally:
+            self._inflight.pop(flight.key, None)
+
+    async def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every in-flight execution to finish (drain helper)."""
+        tasks = [f.task for f in self._inflight.values()
+                 if f.task is not None]
+        if not tasks:
+            return True
+        done, pending = await asyncio.wait(tasks, timeout=timeout)
+        return not pending

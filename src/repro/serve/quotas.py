@@ -1,0 +1,100 @@
+"""Per-tenant admission quotas: token buckets and inflight caps.
+
+Multi-tenant fairness for PhotonServe is deliberately simple and
+*local*: each tenant gets an independent token bucket (sustained
+``rate`` requests/second with ``burst`` headroom) plus a cap on
+concurrently admitted requests.  Exhausting either answers 429 with a
+computed ``Retry-After`` — one greedy tenant is throttled without any
+effect on the others, and without global coordination that would
+serialize the admission path.
+
+The clock is injectable so quota arithmetic is testable without
+sleeping; the default is ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """Classic token bucket; ``rate <= 0`` disables rate limiting."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated", "clock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.clock = clock
+        self.updated = clock()
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens; returns 0.0 on success, else the seconds
+        until enough tokens will have accrued (the Retry-After hint)."""
+        if self.rate <= 0:
+            return 0.0
+        now = self.clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return 0.0
+        return (n - self.tokens) / self.rate
+
+
+class TenantQuotas:
+    """Admission policy applied per tenant name.
+
+    ``rate``/``burst`` parameterize each tenant's token bucket;
+    ``max_inflight`` caps a tenant's concurrently admitted requests
+    (0 = uncapped).  Buckets are created lazily on first sight of a
+    tenant, so the server needs no tenant registry.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: float = 8.0,
+                 max_inflight: int = 0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_inflight = int(max_inflight)
+        self.clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._inflight: Dict[str, int] = {}
+        self.rejected_rate = 0
+        self.rejected_inflight = 0
+
+    def inflight(self, tenant: str) -> int:
+        return self._inflight.get(tenant, 0)
+
+    def admit(self, tenant: str) -> Tuple[bool, float, str]:
+        """Try to admit one request for ``tenant``.
+
+        Returns ``(admitted, retry_after_seconds, reason)``; on success
+        the tenant's inflight count is already incremented and the
+        caller must pair it with :meth:`release`.
+        """
+        if (self.max_inflight > 0
+                and self.inflight(tenant) >= self.max_inflight):
+            self.rejected_inflight += 1
+            return False, 1.0, "tenant max-inflight exceeded"
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, clock=self.clock)
+        retry_after = bucket.try_acquire()
+        if retry_after > 0:
+            self.rejected_rate += 1
+            return False, retry_after, "tenant rate limit exceeded"
+        self._inflight[tenant] = self.inflight(tenant) + 1
+        return True, 0.0, ""
+
+    def release(self, tenant: str) -> None:
+        count = self.inflight(tenant)
+        if count <= 1:
+            self._inflight.pop(tenant, None)
+        else:
+            self._inflight[tenant] = count - 1

@@ -48,7 +48,7 @@ import hashlib
 import json
 import shutil
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..durable import durable_replace
 from ..functional.kernel import Kernel
@@ -345,21 +345,25 @@ class TraceStore:
         ``max_mb``; no-op when both are None).  Bundles are removed
         oldest-mtime-first — a bundle's mtime is its last (re)write, so
         kernels still being warmed survive over ones last touched runs
-        ago.  Each removal emits a ``tracestore.evict`` event and bumps
-        the ``tracestore.evictions`` counter.
+        ago.  Equal-mtime bundles (coarse-mtime filesystems routinely
+        stamp a whole run identically) tie-break on the bundle key, so
+        eviction order is deterministic across platforms regardless of
+        directory-listing order or bundle size.  Each removal emits a
+        ``tracestore.evict`` event and bumps the
+        ``tracestore.evictions`` counter.
         """
         limit = self.max_mb if max_mb is None else max_mb
         if limit is None:
             return 0
         budget = int(limit * (1 << 20))
-        bundles: List[Tuple[float, int, Path]] = []
+        bundles: List[Tuple[float, str, int, Path]] = []
         for path in self.root.glob("*.trc"):
             try:
                 stat = path.stat()
             except OSError:
                 continue
-            bundles.append((stat.st_mtime, stat.st_size, path))
-        total = sum(size for _mtime, size, _path in bundles)
+            bundles.append((stat.st_mtime, path.name, stat.st_size, path))
+        total = sum(size for _mtime, _name, size, _path in bundles)
         if total <= budget:
             return 0
         from ..obs import TRACESTORE_EVICT, current_bus
@@ -367,7 +371,7 @@ class TraceStore:
         bus = current_bus()
         channel = bus.channel(TRACESTORE_EVICT)
         evicted = 0
-        for _mtime, size, path in sorted(bundles):
+        for _mtime, _name, size, path in sorted(bundles):
             if total <= budget:
                 break
             try:
@@ -403,17 +407,27 @@ class TraceStore:
                 continue
             yield index, entry
 
-    def merge_staged(self) -> Dict[str, int]:
+    def merge_staged(self,
+                     indices: Optional[Iterable[int]] = None
+                     ) -> Dict[str, int]:
         """Fold staged worker bundles into the canonical root.
 
         Staging directories are visited in ascending task order and the
         first-written blob wins on conflict, so the merged store is
         byte-deterministic regardless of which worker produced which
         bundle first.  Staged directories are removed once folded.
+
+        ``indices`` restricts the merge to those task indices (a live
+        server folds each task's staging directory as it completes,
+        without touching directories other tasks are still writing);
+        ``None`` folds everything, the sweep-scheduler behaviour.
         """
         stats = {"tasks": 0, "bundles": 0, "warps_added": 0,
                  "quarantined": 0}
-        for _index, task_dir in self._staged_dirs():
+        wanted = None if indices is None else set(indices)
+        for index, task_dir in self._staged_dirs():
+            if wanted is not None and index not in wanted:
+                continue
             stats["tasks"] += 1
             for staged_path in sorted(task_dir.glob("*.trc")):
                 with _span("trace_io"):

@@ -1,0 +1,322 @@
+"""PhotonServer over real sockets, in-process (``jobs=0``).
+
+The server runs on the test's own event loop with the inline execution
+tier, so every admission decision is observable and deterministic;
+blocking ``ServeClient`` calls are pushed to executor threads.  The
+subprocess / worker-pool behaviour (SIGTERM, process isolation) lives
+in test_serve_e2e.py.
+"""
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.parallel.tasks import SweepTask, run_task
+from repro.serve import (
+    PhotonServer,
+    ServeClient,
+    ServeConfig,
+    ServeHTTPError,
+    deterministic_result,
+)
+from repro.serve.lifecycle import read_pending
+
+
+def serve_test(config=None):
+    """Run an async test body against a started in-process server."""
+    def decorate(fn):
+        def wrapper():
+            async def body():
+                server = PhotonServer(config or ServeConfig(
+                    port=0, jobs=0, queue_limit=8))
+                host, port = await server.start()
+                client = ServeClient(host, port, timeout=30)
+                try:
+                    await fn(server=server, client=client)
+                finally:
+                    await server.drain_and_stop()
+            asyncio.run(body())
+        # keep the test's own name, but NOT its signature — pytest
+        # would read the inner (server, client) params as fixtures
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+    return decorate
+
+
+# dedicated pool for blocking client calls: the loop's *default*
+# executor is only cpu+4 threads (5 on a 1-core CI box), far too few
+# for the concurrent-request tests below
+_CALLS = ThreadPoolExecutor(max_workers=16,
+                            thread_name_prefix="serve-test-client")
+
+
+def call(fn, *args, **kwargs):
+    """One blocking client call on an executor thread.
+
+    Returns the *scheduled* future (not a coroutine): the request is
+    already on the wire when this returns, so ``x = call(...)`` really
+    does put a request in flight before the test's next await.
+    """
+    loop = asyncio.get_running_loop()
+    return loop.run_in_executor(
+        _CALLS, functools.partial(fn, *args, **kwargs))
+
+
+# -- basics -----------------------------------------------------------------
+
+@serve_test()
+async def test_health_stats_and_routing(server, client):
+    assert (await call(client.health)) == {"status": "ok"}
+    stats = await call(client.stats)
+    assert stats["counts"]["requests"] == 0
+    assert stats["queue"]["slots"] == 1
+    status, _headers, payload = await call(client.get, "/nope")
+    assert status == 404 and "no route" in payload["error"]
+    status, _headers, payload = await call(
+        client.request, "DELETE", "/v1/run")
+    assert status == 405
+
+
+@serve_test()
+async def test_malformed_requests_get_400(server, client):
+    for path, body in [("/v1/run", {"workload": "nope"}),
+                       ("/v1/run", {"workload": "relu", "size": -1}),
+                       ("/v1/sweep", {}),
+                       ("/v1/ping", {"delay_ms": -5})]:
+        status, _headers, payload = await call(client.post, path, body)
+        assert status == 400 and "error" in payload, (path, payload)
+    assert (await call(client.stats))["counts"]["errors"] == 4
+
+
+@serve_test()
+async def test_run_roundtrip_matches_direct_execution(server, client):
+    """A served result is bitwise the direct run_task result."""
+    served = await call(client.run, "relu", 128, "photon")
+    direct = deterministic_result(run_task(SweepTask(
+        index=0, workload="relu", size=128, method="photon",
+        gpu="r9nano")))
+    assert served["cache"] == "miss"
+    assert served["result"] == direct
+    again = await call(client.run, "relu", 128, "photon")
+    assert again["cache"] == "hit"
+    assert again["result"] == direct
+    assert again["key"] == served["key"]
+
+
+@serve_test()
+async def test_tenant_header_sets_tenant(server, client):
+    status, _headers, payload = await call(
+        client.post, "/v1/ping", {}, {"X-Tenant": "alice"})
+    assert status == 200
+    # the body wins over the header when both are present
+    status, _headers, payload = await call(
+        client.post, "/v1/ping", {"tenant": "bob"}, {"X-Tenant": "alice"})
+    assert status == 200
+
+
+# -- single-flight dedup over the wire (satellite: dedup coverage) ---------
+
+@serve_test()
+async def test_concurrent_identical_requests_coalesce(server, client):
+    """N identical in-flight requests → one execution; every waiter
+    gets an identical response body."""
+    first = call(client.ping, delay_ms=600, key="shared")
+    await asyncio.sleep(0.1)  # the flight is now definitely open
+    rest = await asyncio.gather(
+        *[call(client.ping, delay_ms=600, key="shared")
+          for _ in range(5)])
+    results = [await first] + list(rest)
+    kinds = sorted(r["cache"] for r in results)
+    assert kinds == ["dedup"] * 5 + ["miss"]
+    bodies = [r["result"] for r in results]
+    assert all(b == bodies[0] for b in bodies)
+    stats = await call(client.stats)
+    assert stats["coalesced"] == 5
+    assert stats["counts"]["dedup"] == 5
+
+
+@serve_test()
+async def test_concurrent_identical_runs_execute_once(server, client):
+    def run():
+        return client.run("relu", 128, "photon")
+
+    results = await asyncio.gather(*[call(run) for _ in range(4)])
+    kinds = sorted(r["cache"] for r in results)
+    # exactly one execution; the rest attached to it (dedup) or, if
+    # they arrived after it finished, read its cached result (hit)
+    assert kinds.count("miss") == 1
+    assert all(kind in ("miss", "dedup", "hit") for kind in kinds)
+    assert len({r["key"] for r in results}) == 1
+    bodies = [r["result"] for r in results]
+    assert all(b == bodies[0] for b in bodies)
+    stats = await call(client.stats)
+    assert stats["counts"]["executions"] == 1
+
+
+# -- backpressure (satellite: backpressure coverage) ------------------------
+
+@serve_test(ServeConfig(port=0, jobs=0, queue_limit=1, max_inflight=1))
+async def test_queue_overflow_answers_429_with_retry_after(server, client):
+    """One slot + one waiting spot: the third distinct in-flight
+    request bounces with 429 and a whole-second Retry-After."""
+    slow = [call(client.ping, delay_ms=400, key=f"k{i}")
+            for i in range(2)]
+    await asyncio.sleep(0.1)  # let both occupy slot + waiting room
+    status, headers, payload = await call(
+        client.post, "/v1/ping", {"delay_ms": 0, "key": "k2"})
+    assert status == 429
+    assert int(headers["retry-after"]) >= 1
+    assert payload["error"] == "admission queue full"
+    assert payload["retry_after"] == int(headers["retry-after"])
+    results = await asyncio.gather(*slow)
+    assert all(r["cache"] == "miss" for r in results)
+    stats = await call(client.stats)
+    assert stats["counts"]["rejected_queue"] == 1
+
+
+@serve_test(ServeConfig(port=0, jobs=0, queue_limit=1, max_inflight=1))
+async def test_dedup_waiters_bypass_queue_limit(server, client):
+    """Attaching to an in-flight execution adds no work, so it is
+    never bounced for queue fullness."""
+    first = call(client.ping, delay_ms=300, key="shared")
+    await asyncio.sleep(0.05)
+    filler = call(client.ping, delay_ms=0, key="other")   # fills queue
+    await asyncio.sleep(0.05)
+    dup = await call(client.ping, delay_ms=300, key="shared")
+    assert dup["cache"] in ("dedup", "hit")
+    await asyncio.gather(first, filler)
+
+
+@serve_test(ServeConfig(port=0, jobs=0, queue_limit=8,
+                        tenant_rate=1.0, tenant_burst=2.0))
+async def test_tenant_quota_throttles_only_the_greedy_tenant(server,
+                                                             client):
+    def ping(tenant, key):
+        return client.post("/v1/ping",
+                           {"tenant": tenant, "key": key})
+
+    for i in range(2):  # burst allowance
+        status, _h, _p = await call(ping, "greedy", f"g{i}")
+        assert status == 200
+    status, headers, payload = await call(ping, "greedy", "g2")
+    assert status == 429
+    assert payload["error"] == "tenant rate limit exceeded"
+    assert int(headers["retry-after"]) >= 1
+    # the other tenant is completely unaffected
+    status, _h, _p = await call(ping, "polite", "p0")
+    assert status == 200
+    stats = await call(client.stats)
+    assert stats["counts"]["rejected_quota"] == 1
+
+
+@serve_test(ServeConfig(port=0, jobs=0, queue_limit=8,
+                        tenant_max_inflight=1))
+async def test_tenant_inflight_cap(server, client):
+    slow = call(client.post, "/v1/ping",
+                {"tenant": "t", "delay_ms": 300, "key": "a"})
+    await asyncio.sleep(0.05)
+    status, _h, payload = await call(
+        client.post, "/v1/ping", {"tenant": "t", "key": "b"})
+    assert status == 429
+    assert payload["error"] == "tenant max-inflight exceeded"
+    status, _h, _p = await call(
+        client.post, "/v1/ping", {"tenant": "u", "key": "c"})
+    assert status == 200
+    await slow
+
+
+# -- graceful drain (satellite: drain coverage) -----------------------------
+
+def test_drain_finishes_inflight_journals_queued_rejects_new(tmp_path):
+    async def body():
+        server = PhotonServer(ServeConfig(
+            port=0, jobs=0, queue_limit=4, max_inflight=1,
+            state_dir=str(tmp_path), drain_grace=10.0))
+        host, port = await server.start()
+        client = ServeClient(host, port, timeout=30)
+        # one request holding the slot, one queued behind it
+        inflight = call(client.ping, delay_ms=400, key="inflight")
+        await asyncio.sleep(0.1)
+        queued = call(client.post, "/v1/ping",
+                      {"delay_ms": 0, "key": "queued"})
+        await asyncio.sleep(0.1)
+
+        server.begin_drain()
+        # new work is refused immediately with 503
+        status, headers, payload = await call(
+            client.post, "/v1/ping", {"key": "late"})
+        assert status == 503 and "draining" in payload["error"]
+        assert int(headers["retry-after"]) >= 1
+        # the in-flight request completes normally
+        result = await inflight
+        assert result["cache"] == "miss"
+        # the queued request was displaced and journaled
+        status, _headers, payload = await queued
+        assert status == 503
+        assert payload["journaled"] is True
+        stats = await server.drain_and_stop()
+        assert stats["counts"]["drained"] == 1
+        assert stats["counts"]["rejected_draining"] >= 1
+
+    asyncio.run(body())
+    pending = read_pending(tmp_path)
+    assert len(pending) == 1
+    assert pending[0]["key"] == "queued"
+
+
+def test_drain_without_state_dir_still_answers_503():
+    async def body():
+        server = PhotonServer(ServeConfig(port=0, jobs=0, queue_limit=4,
+                                          max_inflight=1))
+        host, port = await server.start()
+        client = ServeClient(host, port, timeout=30)
+        inflight = call(client.ping, delay_ms=300, key="a")
+        await asyncio.sleep(0.05)
+        queued = call(client.post, "/v1/ping", {"key": "b"})
+        await asyncio.sleep(0.05)
+        server.begin_drain()
+        assert (await inflight)["cache"] == "miss"
+        status, _headers, payload = await queued
+        assert status == 503 and payload["journaled"] is False
+        await server.drain_and_stop()
+
+    asyncio.run(body())
+
+
+# -- sweeps and streaming ---------------------------------------------------
+
+@serve_test()
+async def test_sweep_decomposes_through_the_cache(server, client):
+    cold = await call(client.sweep, ["relu"], sizes=[128],
+                      methods=["photon"])
+    assert cold["tasks"] == 2  # full baseline + photon
+    assert cold["cache"] == {"hit": 0, "dedup": 0, "miss": 2}
+    assert {r["method"] for r in cold["rows"]} == {"full", "photon"}
+    warm = await call(client.sweep, ["relu"], sizes=[128],
+                      methods=["photon"])
+    assert warm["cache"] == {"hit": 2, "dedup": 0, "miss": 0}
+    assert warm["rows"] == cold["rows"]
+    assert "relu" in warm["table"]
+    # a single run of the same cell is also a pure hit now
+    run = await call(client.run, "relu", 128, "photon")
+    assert run["cache"] == "hit"
+
+
+@serve_test()
+async def test_streaming_response_carries_lifecycle_events(server,
+                                                           client):
+    def stream():
+        return list(client.stream("/v1/ping",
+                                  {"delay_ms": 50, "key": "sk"}))
+
+    events = await call(stream)
+    assert events[0]["event"] == "accepted"
+    queue_actions = [e["action"] for e in events
+                     if e["event"] == "serve.queue"]
+    assert queue_actions == ["enqueue", "start", "done"]
+    done = events[-1]
+    assert done["event"] == "done" and done["status"] == 200
+    assert done["response"]["cache"] == "miss"

@@ -169,6 +169,23 @@ def test_evict_removes_lru_bundle_first(tmp_path):
     assert store.evicted == 1
 
 
+def test_evict_tie_break_is_deterministic(tmp_path):
+    """Equal mtimes (coarse filesystem clocks, simultaneous workers)
+    must not make eviction order depend on directory iteration order:
+    ties break on the bundle key, so every platform evicts the same
+    bundle."""
+    import os
+
+    store, old, new = _make_two_bundles(tmp_path)
+    os.utime(old, (1_000, 1_000))
+    os.utime(new, (1_000, 1_000))
+    first, survivor = sorted((old, new), key=lambda p: p.name)
+    store.max_mb = max(old.stat().st_size,
+                       new.stat().st_size) / (1 << 20)
+    assert store.evict() == 1
+    assert not first.exists() and survivor.exists()
+
+
 def test_evict_uses_instance_budget_and_emits_events(tmp_path):
     from repro.obs import TRACESTORE_EVICT, scoped_bus
 
@@ -311,6 +328,28 @@ def test_merge_staged_is_first_writer_wins_in_task_order(tmp_path):
     # lower task index folded first: the real warp-0 trace won
     assert view.get(0) == real[0]
     assert view.n_available == 4
+
+
+def test_merge_staged_selected_indices_only(tmp_path):
+    """A live server folds one finished task's staging directory while
+    other tasks are still writing theirs — only the named indices are
+    touched."""
+    store = TraceStore(tmp_path)
+    kernel = make_vecadd(n_warps=4)
+    key = store.key_for(kernel)
+    executor = FunctionalExecutor(make_vecadd(n_warps=4))
+    real = {w: executor.run_warp_full(w) for w in range(4)}
+    store.stage(1).put_kernel(kernel, real, key=key)
+    store.stage(3).put_kernel(kernel, {0: real[0]}, key=key)
+
+    stats = store.merge_staged([1])
+    assert stats["tasks"] == 1
+    assert stats["warps_added"] == 4
+    # task 3's staging dir is untouched and still mergeable later
+    assert (tmp_path / "staging" / "task-00000003").is_dir()
+    assert store.merge_staged([3])["tasks"] == 1
+    assert not (tmp_path / "staging").exists()
+    assert store.open_kernel(make_vecadd(n_warps=4)).n_available == 4
 
 
 def test_merge_staged_empty_store(tmp_path):
