@@ -154,6 +154,7 @@ class TaskOutcome:
     method: str
     status: str = "ok"    # "ok" | "error"
     stage: str = "run"    # "build" (workload construction) | "run"
+                          # | "pool" (synthesized: worker pool crashed)
     error_class: str = ""
     error: str = ""
     # simulated result (valid when status == "ok")

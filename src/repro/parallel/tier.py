@@ -179,10 +179,16 @@ class ExecutionTier:
 
 def _crash_outcome(task: SweepTask,
                    exc: Optional[BaseException]) -> TaskOutcome:
-    """Synthesize the error outcome for a task that kept breaking pools."""
+    """Synthesize the error outcome for a task that kept breaking pools.
+
+    ``stage="pool"`` marks the failure as infrastructure-synthesized
+    (a crashing worker pool), distinct from the deterministic
+    ``build``/``run`` error outcomes :func:`run_task` produces — serving
+    layers must not cache or absorb these.
+    """
     exc = exc if exc is not None else RuntimeError("worker pool broken")
     return TaskOutcome(
         index=task.index, workload=task.workload, size=task.size,
-        method=task.method, status="error", stage="run",
+        method=task.method, status="error", stage="pool",
         error_class=type(exc).__name__,
         error=str(exc) or "worker pool kept breaking")

@@ -80,6 +80,31 @@ _COUNTERS = ("requests", "hits", "dedup", "executions",
              "drained", "errors")
 
 
+class _CellFailed(Exception):
+    """A sweep cell answered non-200 for a non-drain reason; carries
+    the cell's response triple so the sweep can relay it verbatim."""
+
+    def __init__(self, code: int, extra, payload):
+        super().__init__(f"sweep cell failed with {code}")
+        self.code = code
+        self.extra = extra
+        self.payload = payload
+
+
+def _infra_error_outcome(outcome) -> bool:
+    """True for error outcomes the execution tier synthesized after
+    repeated pool breakage (``stage == "pool"``) — transient host
+    trouble, not a deterministic property of the request key."""
+    return outcome.status == "error" and outcome.stage == "pool"
+
+
+def _infra_error_result(result) -> bool:
+    """The :func:`_infra_error_outcome` test on a serialized result."""
+    return (isinstance(result, dict)
+            and result.get("status") == "error"
+            and result.get("stage") == "pool")
+
+
 @dataclass
 class ServeConfig:
     """Operational knobs for one PhotonServer (see ``docs/serve.md``)."""
@@ -359,9 +384,8 @@ class PhotonServer:
                      "tenant": request.tenant})
         return None
 
-    async def _prepare(self, request: ServeRequest):
+    async def _prepare(self, request: ServeRequest, req_id: int):
         """Key the request and build its execution thunk."""
-        req_id = next(self._req_seq)
         if request.op == "ping":
             key = request.key or f"ping:{req_id}"
 
@@ -371,7 +395,7 @@ class PhotonServer:
                 return {"op": "ping", "delay_ms": request.delay_ms,
                         "key": key}
 
-            return req_id, key, work, False
+            return key, work, False
         task = request.task(index=next(self._task_seq),
                             trace_store=self.config.trace_store)
         loop = asyncio.get_running_loop()
@@ -380,26 +404,37 @@ class PhotonServer:
 
         async def work():
             outcome = await self.tier.run(task)
-            await self._absorb(outcome, task)
+            # a pool-stage error is infrastructure noise (the tier kept
+            # losing workers), not a property of this key — nothing
+            # reusable to absorb
+            if not _infra_error_outcome(outcome):
+                await self._absorb(outcome, task)
             return deterministic_result(outcome)
 
-        return req_id, key, work, True
+        return key, work, True
 
     async def _serve_keyed(self, request: ServeRequest, raw: Dict,
-                           wait_when_full: bool = False, on_key=None):
+                           wait_when_full: bool = False, on_key=None,
+                           gated: bool = True):
         """The full pipeline for one run/ping request.
 
         ``on_key`` (streaming hook) is called with the request key as
         soon as it is computed, before any execution starts.
+        ``gated=False`` skips the drain/quota gate — used for sweep
+        cells, whose parent sweep was already admitted once and holds
+        the tenant's inflight slot (re-entering the gate here would
+        double-charge the tenant and deadlock ``tenant_max_inflight``).
         """
         t0 = time.perf_counter()
         self._count("requests")
-        rejection = self._gate(request)
-        if rejection is not None:
-            return rejection
+        req_id = next(self._req_seq)
+        if gated:
+            rejection = self._gate(request)
+            if rejection is not None:
+                return rejection
         status, cache, key = 500, "", ""
         try:
-            req_id, key, work, cacheable = await self._prepare(request)
+            key, work, cacheable = await self._prepare(request, req_id)
             if on_key is not None:
                 on_key(key)
             cached = self.results.get(key)
@@ -439,8 +474,9 @@ class PhotonServer:
             return (200, None,
                     {"key": key, "cache": cache, "result": result})
         finally:
-            self.quotas.release(request.tenant)
-            self.bus.emit(SERVE_REQUEST, next(self._req_seq),
+            if gated:
+                self.quotas.release(request.tenant)
+            self.bus.emit(SERVE_REQUEST, req_id,
                           request.tenant, request.op, key, status, cache,
                           time.perf_counter() - t0)
 
@@ -459,7 +495,11 @@ class PhotonServer:
             t0 = time.perf_counter()
             result = await work()
             self.queue.observe(time.perf_counter() - t0)
-            if cacheable:
+            # never cache an infrastructure failure: the result LRU
+            # promises byte-identity with a direct run, and a broken
+            # worker pool is transient — the next identical request
+            # must re-execute
+            if cacheable and not _infra_error_result(result):
                 self._cache_put(key, result)
             self.bus.emit(SERVE_QUEUE, key, "done", self.queue.depth)
             return result
@@ -495,9 +535,15 @@ class PhotonServer:
     # -- sweeps ------------------------------------------------------------
 
     async def _serve_sweep(self, request: ServeRequest, raw: Dict):
-        """Decompose a sweep and route every cell through the cache."""
+        """Decompose a sweep and route every cell through the cache.
+
+        The sweep is admitted through the drain/quota gate exactly
+        once, here; its cells run ungated (``gated=False``) under the
+        parent's single tenant-inflight slot and rate token.
+        """
         t0 = time.perf_counter()
         self._count("requests")
+        req_id = next(self._req_seq)
         rejection = self._gate(request)
         if rejection is not None:
             return rejection
@@ -521,12 +567,24 @@ class PhotonServer:
                     workload=plan_task.workload, size=plan_task.size,
                     method=plan_task.method, gpu=plan_task.gpu,
                     seed=plan_task.seed)
+                # journal THIS cell if drain displaces it — replaying
+                # pending.jsonl then re-runs one cell, not the whole
+                # sweep once per shed cell
+                cell_raw = {"op": "run", "tenant": request.tenant,
+                            "workload": plan_task.workload,
+                            "size": plan_task.size,
+                            "method": plan_task.method,
+                            "gpu": plan_task.gpu}
+                if plan_task.seed is not None:
+                    cell_raw["seed"] = plan_task.seed
                 # sweep cells wait politely instead of bouncing off a
                 # full queue: a sweep is batch work, not interactive
-                code, _extra, payload = await self._serve_keyed(
-                    sub, raw, wait_when_full=True)
-                if code != 200:
+                code, extra, payload = await self._serve_keyed(
+                    sub, cell_raw, wait_when_full=True, gated=False)
+                if code == 503:
                     raise Drained(bool(payload.get("journaled")))
+                if code != 200:   # anything else is a cell-level error
+                    raise _CellFailed(code, extra, payload)
                 dispositions[payload["cache"]] += 1
                 return outcome_from_result(payload["result"],
                                            plan_task.index)
@@ -538,6 +596,9 @@ class PhotonServer:
                 return (503, {"Retry-After": "5"},
                         {"error": "server is draining",
                          "journaled": exc.journaled})
+            except _CellFailed as exc:
+                status = exc.code
+                return exc.code, exc.extra, exc.payload
             rows = rows_from_outcomes(list(outcomes))
             status = 200
             return (200, None, {
@@ -548,7 +609,7 @@ class PhotonServer:
             })
         finally:
             self.quotas.release(request.tenant)
-            self.bus.emit(SERVE_REQUEST, next(self._req_seq),
+            self.bus.emit(SERVE_REQUEST, req_id,
                           request.tenant, "sweep", "", status, "",
                           time.perf_counter() - t0)
 
@@ -601,9 +662,20 @@ class PhotonServer:
                     while not events.empty():
                         self._write_line(writer, events.get_nowait())
                     break
-            status, _extra, payload = task.result()
-            self._write_line(writer, {"event": "done", "status": status,
-                                      "response": payload})
+            # the response head is already on the wire — a failure must
+            # become a final JSONL line, never a second HTTP status line
+            # spliced into the ndjson body
+            try:
+                status, _extra, payload = task.result()
+            except Exception as exc:
+                self._count("errors")
+                self._write_line(writer, {
+                    "event": "error",
+                    "error": f"{type(exc).__name__}: {exc}"})
+            else:
+                self._write_line(writer, {"event": "done",
+                                          "status": status,
+                                          "response": payload})
             await writer.drain()
         finally:
             for etype, forward in subscriptions:

@@ -13,7 +13,9 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.obs import SERVE_REQUEST
 from repro.parallel.tasks import SweepTask, run_task
+from repro.parallel.tier import _crash_outcome
 from repro.serve import (
     PhotonServer,
     ServeClient,
@@ -286,7 +288,103 @@ def test_drain_without_state_dir_still_answers_503():
     asyncio.run(body())
 
 
+# -- result cache vs infrastructure failures --------------------------------
+
+@serve_test()
+async def test_infra_crash_outcome_is_not_cached(server, client):
+    """A pool-crash error outcome must not poison the result LRU: the
+    next identical request re-executes and its good result is cached."""
+    real_run = server.tier.run
+    calls = {"n": 0}
+
+    async def flaky_run(task):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            return _crash_outcome(task, RuntimeError("worker pool broken"))
+        return await real_run(task)
+
+    server.tier.run = flaky_run
+    first = await call(client.run, "relu", 128, "photon")
+    assert first["cache"] == "miss"
+    assert first["result"]["status"] == "error"
+    assert first["result"]["stage"] == "pool"
+    second = await call(client.run, "relu", 128, "photon")
+    assert second["cache"] == "miss"          # error was NOT served warm
+    assert second["result"]["status"] == "ok"
+    third = await call(client.run, "relu", 128, "photon")
+    assert third["cache"] == "hit"            # the good result IS cached
+    assert third["result"] == second["result"]
+    assert calls["n"] == 2
+
+
 # -- sweeps and streaming ---------------------------------------------------
+
+@serve_test(ServeConfig(port=0, jobs=0, queue_limit=8,
+                        tenant_rate=1.0, tenant_burst=1.0,
+                        tenant_max_inflight=1))
+async def test_sweep_admits_once_under_tight_tenant_quotas(server, client):
+    """Regression: sweep cells must not re-enter the tenant gate.  With
+    max-inflight 1 and a single burst token the parent sweep consumes
+    both; its cells run under that one admission and the sweep succeeds
+    instead of answering a false 503."""
+    result = await call(client.sweep, ["relu"], sizes=[128],
+                        methods=["photon"])
+    assert result["tasks"] == 2
+    assert result["cache"] == {"hit": 0, "dedup": 0, "miss": 2}
+    stats = await call(client.stats)
+    assert stats["counts"]["rejected_quota"] == 0
+    assert stats["counts"]["rejected_draining"] == 0
+
+
+def test_sweep_drain_journals_per_cell_run_requests(tmp_path):
+    """Cells displaced by drain journal themselves as single-run
+    requests — replaying pending.jsonl re-runs each shed cell once,
+    never the whole sweep per cell."""
+    async def body():
+        server = PhotonServer(ServeConfig(
+            port=0, jobs=0, queue_limit=8, max_inflight=1,
+            state_dir=str(tmp_path), drain_grace=10.0))
+        host, port = await server.start()
+        client = ServeClient(host, port, timeout=30)
+        hold = call(client.ping, delay_ms=700, key="hold")
+        await asyncio.sleep(0.1)
+        sweep = call(client.post, "/v1/sweep",
+                     {"workloads": ["relu"], "sizes": [128],
+                      "methods": ["photon"]})
+        await asyncio.sleep(0.2)   # cells keyed and queued behind hold
+        server.begin_drain()
+        assert (await hold)["cache"] == "miss"
+        status, _headers, payload = await sweep
+        assert status == 503
+        assert payload["journaled"] is True
+        await server.drain_and_stop()
+
+    asyncio.run(body())
+    pending = read_pending(tmp_path)
+    assert len(pending) == 2   # full baseline + photon, one entry each
+    for entry in pending:
+        assert entry["op"] == "run"
+        assert entry["workload"] == "relu"
+        assert "workloads" not in entry
+    assert {e["method"] for e in pending} == {"full", "photon"}
+
+
+@serve_test()
+async def test_serve_request_events_carry_stable_req_ids(server, client):
+    """The serve.request req field is the id allocated for the request,
+    not a fresh draw — ids are consecutive with no gaps."""
+    seen = []
+    forward = lambda *args: seen.append(args)
+    server.bus.subscribe(SERVE_REQUEST, forward)
+    try:
+        await call(client.ping, key="a")
+        await call(client.ping, key="b")
+    finally:
+        server.bus.unsubscribe(SERVE_REQUEST, forward)
+    reqs = [fields[0] for fields in seen]
+    assert reqs == [1, 2]
+    ops = [fields[2] for fields in seen]
+    assert ops == ["ping", "ping"]
 
 @serve_test()
 async def test_sweep_decomposes_through_the_cache(server, client):
@@ -320,3 +418,27 @@ async def test_streaming_response_carries_lifecycle_events(server,
     done = events[-1]
     assert done["event"] == "done" and done["status"] == 200
     assert done["response"]["cache"] == "miss"
+
+
+@serve_test()
+async def test_streaming_failure_emits_error_line_not_http_head(server,
+                                                                client):
+    """An exception mid-stream becomes a final JSONL error event; the
+    server must never splice a second HTTP response head into the
+    already-started ndjson body."""
+    async def boom(key, work, raw, cacheable):
+        raise RuntimeError("kaboom")
+
+    server._execute = boom
+
+    def stream():
+        # the client json-decodes every line: a stray "HTTP/1.1 500 ..."
+        # head in the body would raise here
+        return list(client.stream("/v1/ping", {"delay_ms": 0,
+                                               "key": "sx"}))
+
+    events = await call(stream)
+    assert events[0]["event"] == "accepted"
+    assert events[-1]["event"] == "error"
+    assert "kaboom" in events[-1]["error"]
+    assert all(e["event"] != "done" for e in events)
