@@ -13,15 +13,22 @@ scalar-only.  This module exploits that structure:
    pass yields per-warp :class:`~repro.functional.trace.ControlTrace`\\ s
    and the groups in one sweep — ``O(path length)`` interpreter steps
    per group instead of per warp.
-2. Each group is then executed **once** in FULL mode with register files
-   stacked along a leading batch axis — scalar registers become
-   ``(n_group,)`` rows, vector registers ``(n_group, warp_size)`` planes
-   — so every vector/scalar handler is one vectorized numpy op over the
-   whole group.  Per-warp :class:`~repro.functional.trace.WarpTrace`\\ s
-   are sliced back out **bitwise-identical** to the per-warp executor's
-   output (for a path group, every trace array except ``mem_lines`` is
-   shared; memory lines are extracted per warp from the batched address
-   planes).
+2. FULL mode runs the same split-on-divergence lockstep directly, with
+   register files stacked along a leading batch axis — scalar registers
+   become ``(n_group,)`` rows, vector registers ``(n_group, warp_size)``
+   planes — so every vector/scalar handler is **one** vectorized numpy
+   op for every warp still on the same path: path groups share each
+   dispatch up to their divergence point instead of re-executing common
+   prefixes once per group, and the branch outcomes double as the
+   CONTROL pass (nothing is re-derived).  A fill whose warps already
+   have path signatures on record (``Kernel.path_memo``, written by any
+   earlier CONTROL or FULL lockstep pass) starts pre-partitioned into
+   its path groups, so a CONTROL fast-forward's grouping is shared with
+   subsequent FULL fills.  Per-warp
+   :class:`~repro.functional.trace.WarpTrace`\\ s are sliced back out
+   **bitwise-identical** to the per-warp executor's output (for a path
+   group, every trace array except ``mem_lines`` is shared; memory
+   lines are extracted per warp from the batched address planes).
 
 Semantics notes (why bitwise equality holds):
 
@@ -266,6 +273,7 @@ class WarpPackExecutor:
         memory = self.kernel.memory
         read_gather = memory.read_gather
         max_steps = self.max_steps
+        memo = self.kernel.path_memo
         ids = np.asarray(list(warp_ids), dtype=np.int64)
         wd = self._fill_watchdog(len(ids))
         wd_seen = bytearray(len(static)) if wd is not None else None
@@ -344,11 +352,13 @@ class WarpPackExecutor:
                             break
                     elif kind == _K_END:
                         group = [int(w) for w in members]
+                        token = object()
                         for warp_id in group:
                             trace = ControlTrace(warp_id=warp_id)
                             trace.bb_seq = list(bb_seq)
                             trace.n_insts = n_insts
                             traces[warp_id] = trace
+                            memo[warp_id] = token
                         groups.append(group)
                         break
                     # vector / LDS / barrier / waitcnt: control-irrelevant
@@ -378,11 +388,44 @@ class WarpPackExecutor:
                        wd=None, wd_seen=None,
                        sregs0: Optional[np.ndarray] = None
                        ) -> Dict[int, WarpTrace]:
-        """FULL-mode execute one path-uniform group as a single batch.
+        """FULL-mode execute one path group as a single batch.
 
-        Raises :class:`ExecutionError` on any memory fault or (defensive)
-        control divergence inside the group; the caller falls back to the
-        per-warp executor for these warps.
+        A single-batch wrapper over :meth:`_run_batches_full`.  Scalar
+        branch divergence inside the group no longer raises — the batch
+        splits and each side continues (a stale ``path_memo`` hint
+        self-heals at the cost of one split).  Raises
+        :class:`ExecutionError` when any part of the batch faults; the
+        caller falls back to the per-warp executor.
+        """
+        traces, _sizes, fallback = self._run_batches_full(
+            [(list(warp_ids), sregs0)], wd=wd, wd_seen=wd_seen)
+        if fallback:
+            raise ExecutionError(
+                f"warp pack group of {self.kernel.name!r} faulted for "
+                f"warps {sorted(fallback)}")
+        return traces
+
+    def _run_batches_full(self, batches, wd=None, wd_seen=None):
+        """FULL-mode execute ``batches`` with split-on-divergence.
+
+        ``batches`` is a list of ``(members, sregs0)`` items, each a
+        warp-id sequence plus its stacked ``(N_SREGS, k)`` initial
+        scalar registers (``None`` derives them from the kernel
+        arguments).  Warps in one batch advance in lockstep — **one
+        numpy dispatch per instruction for the whole batch** — for
+        exactly as long as their dynamic paths coincide; a scalar
+        branch with mixed outcomes splits the batch and each side
+        continues independently.  Path groups therefore share every
+        dispatch up to their divergence point instead of re-executing
+        common prefixes once per group, and the branch outcomes double
+        as the CONTROL lockstep pass (no separate CONTROL
+        re-derivation before a FULL fill).
+
+        Returns ``(traces, group_sizes, fallback)``: per-warp
+        :class:`WarpTrace`\\ s, the leaf path-group sizes, and warps
+        whose batch raised an :class:`ExecutionError` (serve those
+        per-warp).  Every finished leaf records its path signature in
+        ``kernel.path_memo``, so later fills start pre-partitioned.
         """
         kernel = self.kernel
         executor = self.executor
@@ -391,264 +434,339 @@ class WarpPackExecutor:
         memory = kernel.memory
         read_gather = memory.read_gather
         write_scatter = memory.write_scatter
-        n = len(warp_ids)
-
-        sregs = (self._init_sregs_batch(warp_ids)     # (N_SREGS, n)
-                 if sregs0 is None else sregs0.copy())
-        vregs = np.zeros((N_VREGS, n, warp_size), dtype=np.float64)
-        lds = np.zeros((n, LDS_WORDS), dtype=np.float64)
-        vcc = np.zeros((n, warp_size), dtype=bool)
-        exec_mask = np.ones((n, warp_size), dtype=bool)
-        exec_all = True
-        scc = np.zeros(n, dtype=bool)
-        row_ids = np.arange(n)[:, None]               # LDS row selector
-        lane_ids = np.arange(warp_size, dtype=np.float64)
-
-        # shared (path-identical) trace columns + per-warp memory rows
-        t_static: List[int] = []
-        t_class: List[int] = []
-        t_opcode: List[int] = []
-        t_dep: List[int] = []
-        t_store: List[bool] = []
-        t_bb: List[Tuple[int, int]] = []
-        mem_rows: List[Tuple[int, List[tuple]]] = []  # (dyn pos, per-warp)
-
-        last_writer: Dict[object, int] = {}
-        lw_get = last_writer.get
-        last_mem_dyn = -1
-        pc = 0
-        steps = 0
-        dyn = 0
         max_steps = self.max_steps
+        memo = kernel.path_memo
 
-        def val(spec):
-            tag, x = spec
-            if tag == "s":
-                return sregs[x][:, None]   # per-warp column vs lane axis
-            if tag == "v":
-                return vregs[x]
-            return x
-
-        while True:
-            steps += 1
-            if steps > max_steps:
-                raise ExecutionError(
-                    f"warp pack of {kernel.name!r} exceeded "
-                    f"{max_steps} steps (runaway loop?)")
-            info = static[pc]
-            if wd is not None:
-                if not wd_seen[pc]:
-                    wd_seen[pc] = 1
-                    wd.note_progress()
-                wd.tick()
-            if info.is_leader:
-                t_bb.append((pc, dyn))
-            kind = info.kind
-
-            dep = -1
-            for key in info.reads:
-                d = lw_get(key, -1)
-                if d > dep:
-                    dep = d
-
-            mem_rec = None   # None, or list of per-warp tuples
-            store = False
-            next_pc = pc + 1
-            spec = info.src_spec
-
-            if kind == _K_VBIN:
-                result = info.fn(val(spec[0]), val(spec[1]))
-                if exec_all:
-                    vregs[info.dst_idx] = np.broadcast_to(
-                        result, (n, warp_size))
-                else:
-                    vregs[info.dst_idx][exec_mask] = np.broadcast_to(
-                        result, (n, warp_size))[exec_mask]
-            elif kind == _K_VMAC:
-                result = vregs[info.dst_idx] + \
-                    np.asarray(val(spec[0])) * val(spec[1])
-                if exec_all:
-                    vregs[info.dst_idx] = result
-                else:
-                    vregs[info.dst_idx][exec_mask] = result[exec_mask]
-            elif kind == _K_SBIN:
-                a, b = self._sread_full(info, sregs)
-                sregs[info.dst_idx] = _BATCH_SBIN[info.opcode_id](a, b)
-            elif kind == _K_SCMP:
-                a, b = self._sread_full(info, sregs)
-                flags = np.asarray(
-                    _BATCH_SCMP[info.opcode_id](a, b), dtype=bool)
-                if flags.shape != scc.shape:
-                    flags = np.broadcast_to(flags, scc.shape).copy()
-                scc = flags
-            elif kind == _K_SMOV:
-                tag, x = spec[0]
-                if tag == "v":
-                    raise ExecutionError(
-                        f"vector operand v{x} in a scalar move")
-                sregs[info.dst_idx] = sregs[x] if tag == "s" else float(x)
-            elif kind == _K_VCMP:
-                vcc = np.asarray(
-                    info.fn(np.asarray(val(spec[0])),
-                            np.asarray(val(spec[1]))), dtype=bool)
-                if vcc.shape != (n, warp_size):
-                    vcc = np.broadcast_to(vcc, (n, warp_size)).copy()
-            elif kind == _K_VLOAD:
-                base = sregs[info.mem_base][:, None] + info.mem_offset
-                if info.mem_index >= 0:
-                    addrs = base + vregs[info.mem_index] * info.mem_scale
-                else:
-                    addrs = np.broadcast_to(base, (n, warp_size))
-                if exec_all:
-                    values = read_gather(addrs.ravel())
-                    vregs[info.dst_idx] = values.reshape(n, warp_size)
-                    mem_rec = _batch_mem_lines(addrs, None)
-                else:
-                    flat = addrs[exec_mask]
-                    if flat.size:
-                        vregs[info.dst_idx][exec_mask] = read_gather(flat)
-                    mem_rec = _batch_mem_lines(addrs, exec_mask)
-                last_mem_dyn = dyn
-            elif kind == _K_VSTORE:
-                base = sregs[info.mem_base][:, None] + info.mem_offset
-                if info.mem_index >= 0:
-                    addrs = base + vregs[info.mem_index] * info.mem_scale
-                else:
-                    addrs = np.broadcast_to(base, (n, warp_size))
-                data = vregs[info.dst_idx]
-                if exec_all:
-                    write_scatter(addrs.ravel(), data.ravel())
-                    mem_rec = _batch_mem_lines(addrs, None)
-                else:
-                    flat = addrs[exec_mask]
-                    if flat.size:
-                        write_scatter(flat, data[exec_mask])
-                    mem_rec = _batch_mem_lines(addrs, exec_mask)
-                store = True
-                last_mem_dyn = dyn
-            elif kind == _K_SLOAD:
-                addrs = (sregs[info.mem_base].astype(np.int64)
-                         + info.mem_offset)
-                sregs[info.dst_idx] = read_gather(addrs)
-                mem_rec = [(line,) for line in
-                           (addrs // WORDS_PER_LINE).tolist()]
-                last_mem_dyn = dyn
-            elif kind == _K_DSREAD:
-                idx = (np.asarray(val(spec[0]))
-                       .astype(np.int64) % LDS_WORDS)
-                idx = np.broadcast_to(idx, (n, warp_size))
-                gathered = lds[row_ids, idx]
-                if exec_all:
-                    vregs[info.dst_idx] = gathered
-                else:
-                    vregs[info.dst_idx][exec_mask] = gathered[exec_mask]
-            elif kind == _K_DSWRITE:
-                idx = (np.asarray(val(spec[0]))
-                       .astype(np.int64) % LDS_WORDS)
-                idx = np.broadcast_to(idx, (n, warp_size))
-                data = np.broadcast_to(
-                    np.asarray(val(spec[1]), dtype=np.float64),
-                    (n, warp_size))
-                rows = np.broadcast_to(row_ids, (n, warp_size))
-                if exec_all:
-                    lds[rows, idx] = data
-                else:
-                    lds[rows[exec_mask], idx[exec_mask]] = data[exec_mask]
-            elif kind == _K_VFMA:
-                result = (np.asarray(val(spec[0])) * val(spec[1])
-                          + val(spec[2]))
-                if exec_all:
-                    vregs[info.dst_idx] = np.broadcast_to(
-                        result, (n, warp_size))
-                else:
-                    vregs[info.dst_idx][exec_mask] = np.broadcast_to(
-                        result, (n, warp_size))[exec_mask]
-            elif kind == _K_VMOV:
-                result = np.broadcast_to(
-                    np.asarray(val(spec[0]), dtype=np.float64),
-                    (n, warp_size))
-                if exec_all:
-                    vregs[info.dst_idx][...] = result
-                else:
-                    vregs[info.dst_idx][exec_mask] = result[exec_mask]
-            elif kind == _K_VLANE:
-                if exec_all:
-                    vregs[info.dst_idx][...] = lane_ids
-                else:
-                    vregs[info.dst_idx][exec_mask] = np.broadcast_to(
-                        lane_ids, (n, warp_size))[exec_mask]
-            elif kind == _K_VCND:
-                result = np.where(vcc, np.asarray(val(spec[1])),
-                                  np.asarray(val(spec[0])))
-                if exec_all:
-                    vregs[info.dst_idx] = np.broadcast_to(
-                        result, (n, warp_size))
-                else:
-                    vregs[info.dst_idx][exec_mask] = np.broadcast_to(
-                        result, (n, warp_size))[exec_mask]
-            elif kind == _K_EXEC_VCC:
-                exec_mask = vcc.copy()
-                exec_all = bool(exec_mask.all())
-            elif kind == _K_EXEC_ALL:
-                exec_mask = np.ones((n, warp_size), dtype=bool)
-                exec_all = True
-            elif kind == _K_BRANCH:
-                next_pc = info.target
-            elif kind == _K_CBR1 or kind == _K_CBR0:
-                flag = bool(scc[0])
-                if n > 1 and not (scc == flag).all():
-                    raise ExecutionError(
-                        f"scalar branch diverged inside a warp pack "
-                        f"group of {kernel.name!r} at pc {pc}")
-                if (kind == _K_CBR1) == flag:
-                    next_pc = info.target
-            elif kind == _K_BARRIER:
-                pass  # timing-only effect
-            elif kind == _K_WAITCNT:
-                if last_mem_dyn > dep:
-                    dep = last_mem_dyn
-            elif kind == _K_END:
-                t_static.append(pc)
-                t_class.append(info.opclass)
-                t_opcode.append(info.opcode_id)
-                t_dep.append(dep)
-                t_store.append(False)
-                # END rows never record memory (mem_lines entry is None)
-                break
-            else:  # pragma: no cover - defensive
-                raise ExecutionError(f"unhandled kind {kind}")
-
-            for key in info.writes:
-                last_writer[key] = dyn
-
-            t_static.append(pc)
-            t_class.append(info.opclass)
-            t_opcode.append(info.opcode_id)
-            t_dep.append(dep)
-            t_store.append(store)
-            if mem_rec is not None:
-                mem_rows.append((dyn, mem_rec))
-            dyn += 1
-            pc = next_pc
-
-        # slice per-warp traces back out of the shared columns
-        n_insts = len(t_static)
-        mem_template: List[Optional[tuple]] = [None] * n_insts
         traces: Dict[int, WarpTrace] = {}
-        for j, warp_id in enumerate(warp_ids):
-            mem = list(mem_template)
-            for pos, per_warp in mem_rows:
-                mem[pos] = per_warp[j]
-            trace = WarpTrace(warp_id=int(warp_id))
-            trace.static_idx = list(t_static)
-            trace.opclass = list(t_class)
-            trace.opcode = list(t_opcode)
-            trace.dep = list(t_dep)
-            trace.mem_lines = mem
-            trace.is_store = list(t_store)
-            trace.bb_seq = list(t_bb)
-            traces[int(warp_id)] = trace
-        return traces
+        group_sizes: List[int] = []
+        fallback: List[int] = []
+
+        # item: (pc, steps, dyn, last_mem_dyn, members, sregs, vregs,
+        #        lds, vcc, exec_mask, exec_all, scc, columns, mem_rows,
+        #        last_writer); vector/LDS state is allocated lazily when
+        #        an initial item is first popped
+        stack = []
+        for members, sregs0 in batches:
+            ids = np.asarray(list(members), dtype=np.int64)
+            if not ids.size:
+                continue
+            sregs = (self._init_sregs_batch(ids) if sregs0 is None
+                     else sregs0.copy())
+            stack.append((0, 0, 0, -1, ids, sregs, None, None, None,
+                          None, True, np.zeros(ids.size, dtype=bool),
+                          ([], [], [], [], [], []), [], {}))
+
+        while stack:
+            (pc, steps, dyn, last_mem_dyn, members, sregs, vregs, lds,
+             vcc, exec_mask, exec_all, scc, cols, mem_rows,
+             last_writer) = stack.pop()
+            n = len(members)
+            if vregs is None:
+                vregs = np.zeros((N_VREGS, n, warp_size),
+                                 dtype=np.float64)
+                lds = np.zeros((n, LDS_WORDS), dtype=np.float64)
+                vcc = np.zeros((n, warp_size), dtype=bool)
+                exec_mask = np.ones((n, warp_size), dtype=bool)
+            t_static, t_class, t_opcode, t_dep, t_store, t_bb = cols
+            row_ids = np.arange(n)[:, None]           # LDS row selector
+            lane_ids = np.arange(warp_size, dtype=np.float64)
+            lw_get = last_writer.get
+
+            def val(spec, sregs=sregs, vregs=vregs):
+                tag, x = spec
+                if tag == "s":
+                    return sregs[x][:, None]  # warp column vs lane axis
+                if tag == "v":
+                    return vregs[x]
+                return x
+
+            try:
+                while True:
+                    steps += 1
+                    if steps > max_steps:
+                        raise ExecutionError(
+                            f"warp pack of {kernel.name!r} exceeded "
+                            f"{max_steps} steps (runaway loop?)")
+                    info = static[pc]
+                    if wd is not None:
+                        if not wd_seen[pc]:
+                            wd_seen[pc] = 1
+                            wd.note_progress()
+                        wd.tick()
+                    if info.is_leader:
+                        t_bb.append((pc, dyn))
+                    kind = info.kind
+
+                    dep = -1
+                    for key in info.reads:
+                        d = lw_get(key, -1)
+                        if d > dep:
+                            dep = d
+
+                    mem_rec = None   # None, or list of per-warp tuples
+                    split = None     # mixed-outcome scalar branch mask
+                    store = False
+                    next_pc = pc + 1
+                    spec = info.src_spec
+
+                    if kind == _K_VBIN:
+                        result = info.fn(val(spec[0]), val(spec[1]))
+                        if exec_all:
+                            vregs[info.dst_idx] = np.broadcast_to(
+                                result, (n, warp_size))
+                        else:
+                            vregs[info.dst_idx][exec_mask] = \
+                                np.broadcast_to(
+                                    result, (n, warp_size))[exec_mask]
+                    elif kind == _K_VMAC:
+                        result = vregs[info.dst_idx] + \
+                            np.asarray(val(spec[0])) * val(spec[1])
+                        if exec_all:
+                            vregs[info.dst_idx] = result
+                        else:
+                            vregs[info.dst_idx][exec_mask] = \
+                                result[exec_mask]
+                    elif kind == _K_SBIN:
+                        a, b = self._sread_full(info, sregs)
+                        sregs[info.dst_idx] = _BATCH_SBIN[
+                            info.opcode_id](a, b)
+                    elif kind == _K_SCMP:
+                        a, b = self._sread_full(info, sregs)
+                        flags = np.asarray(
+                            _BATCH_SCMP[info.opcode_id](a, b),
+                            dtype=bool)
+                        if flags.shape != scc.shape:
+                            flags = np.broadcast_to(
+                                flags, scc.shape).copy()
+                        scc = flags
+                    elif kind == _K_SMOV:
+                        tag, x = spec[0]
+                        if tag == "v":
+                            raise ExecutionError(
+                                f"vector operand v{x} in a scalar move")
+                        sregs[info.dst_idx] = (
+                            sregs[x] if tag == "s" else float(x))
+                    elif kind == _K_VCMP:
+                        vcc = np.asarray(
+                            info.fn(np.asarray(val(spec[0])),
+                                    np.asarray(val(spec[1]))),
+                            dtype=bool)
+                        if vcc.shape != (n, warp_size):
+                            vcc = np.broadcast_to(
+                                vcc, (n, warp_size)).copy()
+                    elif kind == _K_VLOAD:
+                        base = (sregs[info.mem_base][:, None]
+                                + info.mem_offset)
+                        if info.mem_index >= 0:
+                            addrs = (base + vregs[info.mem_index]
+                                     * info.mem_scale)
+                        else:
+                            addrs = np.broadcast_to(base, (n, warp_size))
+                        if exec_all:
+                            values = read_gather(addrs.ravel())
+                            vregs[info.dst_idx] = values.reshape(
+                                n, warp_size)
+                            mem_rec = _batch_mem_lines(addrs, None)
+                        else:
+                            flat = addrs[exec_mask]
+                            if flat.size:
+                                vregs[info.dst_idx][exec_mask] = \
+                                    read_gather(flat)
+                            mem_rec = _batch_mem_lines(addrs, exec_mask)
+                        last_mem_dyn = dyn
+                    elif kind == _K_VSTORE:
+                        base = (sregs[info.mem_base][:, None]
+                                + info.mem_offset)
+                        if info.mem_index >= 0:
+                            addrs = (base + vregs[info.mem_index]
+                                     * info.mem_scale)
+                        else:
+                            addrs = np.broadcast_to(base, (n, warp_size))
+                        data = vregs[info.dst_idx]
+                        if exec_all:
+                            write_scatter(addrs.ravel(), data.ravel())
+                            mem_rec = _batch_mem_lines(addrs, None)
+                        else:
+                            flat = addrs[exec_mask]
+                            if flat.size:
+                                write_scatter(flat, data[exec_mask])
+                            mem_rec = _batch_mem_lines(addrs, exec_mask)
+                        store = True
+                        last_mem_dyn = dyn
+                    elif kind == _K_SLOAD:
+                        addrs = (sregs[info.mem_base].astype(np.int64)
+                                 + info.mem_offset)
+                        sregs[info.dst_idx] = read_gather(addrs)
+                        mem_rec = [(line,) for line in
+                                   (addrs // WORDS_PER_LINE).tolist()]
+                        last_mem_dyn = dyn
+                    elif kind == _K_DSREAD:
+                        idx = (np.asarray(val(spec[0]))
+                               .astype(np.int64) % LDS_WORDS)
+                        idx = np.broadcast_to(idx, (n, warp_size))
+                        gathered = lds[row_ids, idx]
+                        if exec_all:
+                            vregs[info.dst_idx] = gathered
+                        else:
+                            vregs[info.dst_idx][exec_mask] = \
+                                gathered[exec_mask]
+                    elif kind == _K_DSWRITE:
+                        idx = (np.asarray(val(spec[0]))
+                               .astype(np.int64) % LDS_WORDS)
+                        idx = np.broadcast_to(idx, (n, warp_size))
+                        data = np.broadcast_to(
+                            np.asarray(val(spec[1]), dtype=np.float64),
+                            (n, warp_size))
+                        rows = np.broadcast_to(row_ids, (n, warp_size))
+                        if exec_all:
+                            lds[rows, idx] = data
+                        else:
+                            lds[rows[exec_mask], idx[exec_mask]] = \
+                                data[exec_mask]
+                    elif kind == _K_VFMA:
+                        result = (np.asarray(val(spec[0])) * val(spec[1])
+                                  + val(spec[2]))
+                        if exec_all:
+                            vregs[info.dst_idx] = np.broadcast_to(
+                                result, (n, warp_size))
+                        else:
+                            vregs[info.dst_idx][exec_mask] = \
+                                np.broadcast_to(
+                                    result, (n, warp_size))[exec_mask]
+                    elif kind == _K_VMOV:
+                        result = np.broadcast_to(
+                            np.asarray(val(spec[0]), dtype=np.float64),
+                            (n, warp_size))
+                        if exec_all:
+                            vregs[info.dst_idx][...] = result
+                        else:
+                            vregs[info.dst_idx][exec_mask] = \
+                                result[exec_mask]
+                    elif kind == _K_VLANE:
+                        if exec_all:
+                            vregs[info.dst_idx][...] = lane_ids
+                        else:
+                            vregs[info.dst_idx][exec_mask] = \
+                                np.broadcast_to(
+                                    lane_ids,
+                                    (n, warp_size))[exec_mask]
+                    elif kind == _K_VCND:
+                        result = np.where(vcc, np.asarray(val(spec[1])),
+                                          np.asarray(val(spec[0])))
+                        if exec_all:
+                            vregs[info.dst_idx] = np.broadcast_to(
+                                result, (n, warp_size))
+                        else:
+                            vregs[info.dst_idx][exec_mask] = \
+                                np.broadcast_to(
+                                    result, (n, warp_size))[exec_mask]
+                    elif kind == _K_EXEC_VCC:
+                        exec_mask = vcc.copy()
+                        exec_all = bool(exec_mask.all())
+                    elif kind == _K_EXEC_ALL:
+                        exec_mask = np.ones((n, warp_size), dtype=bool)
+                        exec_all = True
+                    elif kind == _K_BRANCH:
+                        next_pc = info.target
+                    elif kind == _K_CBR1 or kind == _K_CBR0:
+                        taken = scc if kind == _K_CBR1 else ~scc
+                        if taken.all():
+                            next_pc = info.target
+                        elif taken.any():
+                            split = taken
+                    elif kind == _K_BARRIER:
+                        pass  # timing-only effect
+                    elif kind == _K_WAITCNT:
+                        if last_mem_dyn > dep:
+                            dep = last_mem_dyn
+                    elif kind == _K_END:
+                        t_static.append(pc)
+                        t_class.append(info.opclass)
+                        t_opcode.append(info.opcode_id)
+                        t_dep.append(dep)
+                        t_store.append(False)
+                        # END rows never record memory (entry is None)
+                        # slice per-warp traces out of the shared
+                        # columns; every warp of the leaf references
+                        # the SAME column list objects (only mem_lines
+                        # is per-warp) — columns are immutable once
+                        # built, and downstream id()-keyed conversion
+                        # caches (the timing engine's per-trace pools)
+                        # rely on the sharing
+                        n_insts = len(t_static)
+                        mem_template: List[Optional[tuple]] = \
+                            [None] * n_insts
+                        token = object()
+                        for j, warp_id in enumerate(members):
+                            wid = int(warp_id)
+                            mem = list(mem_template)
+                            for pos, per_warp in mem_rows:
+                                mem[pos] = per_warp[j]
+                            trace = WarpTrace(warp_id=wid)
+                            trace.static_idx = t_static
+                            trace.opclass = t_class
+                            trace.opcode = t_opcode
+                            trace.dep = t_dep
+                            trace.mem_lines = mem
+                            trace.is_store = t_store
+                            trace.bb_seq = t_bb
+                            traces[wid] = trace
+                            memo[wid] = token
+                        group_sizes.append(n)
+                        break
+                    else:  # pragma: no cover - defensive
+                        raise ExecutionError(f"unhandled kind {kind}")
+
+                    for key in info.writes:
+                        last_writer[key] = dyn
+
+                    t_static.append(pc)
+                    t_class.append(info.opclass)
+                    t_opcode.append(info.opcode_id)
+                    t_dep.append(dep)
+                    t_store.append(store)
+                    if mem_rec is not None:
+                        mem_rows.append((dyn, mem_rec))
+                    dyn += 1
+
+                    if split is not None:
+                        # mixed-outcome scalar branch: peel the taken
+                        # side off with copied history (the
+                        # fall-through side keeps the live columns);
+                        # per-warp memory rows re-index on both sides
+                        not_taken = ~split
+                        sel = np.nonzero(split)[0].tolist()
+                        osel = np.nonzero(not_taken)[0].tolist()
+                        taken_rows = [(d, [rec[j] for j in sel])
+                                      for d, rec in mem_rows]
+                        mem_rows = [(d, [rec[j] for j in osel])
+                                    for d, rec in mem_rows]
+                        stack.append((
+                            info.target, steps, dyn, last_mem_dyn,
+                            members[split], sregs[:, split],
+                            vregs[:, split], lds[split], vcc[split],
+                            exec_mask[split],
+                            exec_all or bool(exec_mask[split].all()),
+                            scc[split],
+                            (list(t_static), list(t_class),
+                             list(t_opcode), list(t_dep),
+                             list(t_store), list(t_bb)),
+                            taken_rows, dict(last_writer)))
+                        stack.append((
+                            pc + 1, steps, dyn, last_mem_dyn,
+                            members[not_taken], sregs[:, not_taken],
+                            vregs[:, not_taken], lds[not_taken],
+                            vcc[not_taken], exec_mask[not_taken],
+                            exec_all
+                            or bool(exec_mask[not_taken].all()),
+                            scc[not_taken], cols, mem_rows,
+                            last_writer))
+                        break
+
+                    pc = next_pc
+            except ExecutionError:
+                fallback.extend(int(w) for w in members)
+        return traces, group_sizes, fallback
 
     @staticmethod
     def _sread_full(info, sregs):
@@ -680,34 +798,43 @@ class WarpPackExecutor:
     def fill_full(self, warp_ids: Sequence[int]) -> PackFill:
         """Batched FULL traces for ``warp_ids``.
 
-        Runs the lockstep CONTROL pass to find path groups, then
-        executes each group once.  Warps whose group raised an
-        :class:`ExecutionError` land on ``fill.fallback`` — serve them
-        through the per-warp executor (their stores may have partially
-        applied, but warps are architecturally independent and stores
-        are deterministic, so a per-warp re-run reproduces the exact
-        per-warp results).
+        Warps whose dynamic path is already on record (an earlier
+        CONTROL or FULL lockstep pass of this kernel — see
+        ``Kernel.path_memo``) start pre-partitioned into their path
+        groups; the rest run as one merged batch whose scalar-branch
+        outcomes discover the grouping on the fly.  Either way the
+        CONTROL lockstep pass is shared, not re-derived.  Warps whose
+        batch raised an :class:`ExecutionError` land on
+        ``fill.fallback`` — serve them through the per-warp executor
+        (their stores may have partially applied, but warps are
+        architecturally independent and stores are deterministic, so a
+        per-warp re-run reproduces the exact per-warp results).
         """
         with self.bus.metrics.span("functional"):
             t0 = _time.perf_counter()
-            ids = list(warp_ids)
-            sregs_all = self._init_sregs_batch(ids)
-            column = {int(w): j for j, w in enumerate(ids)}
-            _ctrl, groups, fallback = self.control_packs(
-                ids, sregs0=sregs_all)
+            ids = [int(w) for w in warp_ids]
+            column = {w: j for j, w in enumerate(ids)}
+            memo = self.kernel.path_memo
+            known: Dict[object, List[int]] = {}
+            unknown: List[int] = []
+            for w in ids:
+                token = memo.get(w)
+                if token is None:
+                    unknown.append(w)
+                else:
+                    known.setdefault(token, []).append(w)
+            groups = ([unknown] if unknown else []) + list(known.values())
             wd = self._fill_watchdog(len(ids))
             wd_seen = (bytearray(len(self.executor._static))
                        if wd is not None else None)
-            traces: Dict[int, WarpTrace] = {}
-            group_sizes: List[int] = []
-            for group in groups:
-                try:
-                    traces.update(self.run_group_full(
-                        group, wd=wd, wd_seen=wd_seen,
-                        sregs0=sregs_all[:, [column[w] for w in group]]))
-                    group_sizes.append(len(group))
-                except ExecutionError:
-                    fallback.extend(group)
+            sregs_all = (self._init_sregs_batch(ids) if ids else None)
+            batches = [(group, sregs_all[:, [column[w] for w in group]])
+                       for group in groups]
+            traces, group_sizes, fallback = self._run_batches_full(
+                batches, wd=wd, wd_seen=wd_seen)
+            if known:
+                self.bus.metrics.counter("exec.batch.ctrl_reused").inc(
+                    sum(len(g) for g in known.values()))
             fill = PackFill(traces, fallback, group_sizes,
                             _time.perf_counter() - t0)
         self._publish(fill, "full")

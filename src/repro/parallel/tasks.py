@@ -32,6 +32,7 @@ from ..core.photon import AnalysisStore
 from ..baselines.pka import PkaConfig
 from ..errors import ConfigError, ReproError
 from ..functional.batch import batching_enabled, scoped_batching
+from ..timing.batch import scoped_timing_batching, timing_batching_enabled
 from ..harness.defaults import EVAL_PHOTON, resolve_gpu
 from ..harness.runner import (
     LEVEL_METHODS,
@@ -291,7 +292,9 @@ def run_task(task: SweepTask) -> TaskOutcome:
     try:
         with scoped_trace_cache(cache), \
                 scoped_batching(batching_enabled()
-                                and task.photon.batched_functional):
+                                and task.photon.batched_functional), \
+                scoped_timing_batching(timing_batching_enabled()
+                                       and task.photon.batched_timing):
             result, out.attempts, out.backoff_total = (
                 task.retry.run_logged(attempt))
     except ReproError as exc:

@@ -42,18 +42,26 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from pathlib import Path
+
 from ..core.persist import (
     analysis_store_from_payload,
     kernel_db_from_payload,
 )
 from ..core.photon import AnalysisStore
+from ..durable import durable_replace
 from ..harness.tables import comparison_table
 from ..obs import SERVE_DEDUP, SERVE_QUEUE, SERVE_REQUEST, current_bus
 from ..parallel import plan_sweep, rows_from_outcomes
 from ..parallel.tier import ExecutionTier
 from ..tracestore import TraceStore
 from .dedup import SingleFlight
-from .lifecycle import DrainController, Drained
+from .lifecycle import (
+    PENDING_NAME,
+    DrainController,
+    Drained,
+    read_pending,
+)
 from .protocol import (
     ProtocolError,
     ServeRequest,
@@ -77,7 +85,7 @@ _MAX_BODY = 1 << 20   # 1 MiB of JSON is far beyond any legal request
 #: counter names mirrored onto the bus metrics as ``serve.<name>``
 _COUNTERS = ("requests", "hits", "dedup", "executions",
              "rejected_queue", "rejected_quota", "rejected_draining",
-             "drained", "errors")
+             "drained", "replayed", "errors")
 
 
 class _CellFailed(Exception):
@@ -204,9 +212,63 @@ class PhotonServer:
         """Flip into drain mode (SIGTERM handler; idempotent)."""
         self.drain.begin()
 
+    async def replay_pending(self) -> int:
+        """Replay a drained predecessor's ``pending.jsonl``; truncate it.
+
+        Called before the listener binds (see :meth:`run`), so replayed
+        requests compete only with each other.  Every journaled body is
+        re-normalized and served exactly like a fresh request — through
+        the quota gates, the result cache, single-flight and the
+        admission queue — so the shed work lands back in the result
+        cache and the analysis/kernel stores before traffic arrives.
+        Records that fail to parse are dropped (a malformed line must
+        not wedge every restart); records the gates reject are
+        re-journaled for the next restart.  The journal is then
+        truncated with the same durability contract it was written
+        under (:func:`repro.durable.durable_replace`), so a replayed
+        request is never replayed again after a later crash.  Returns
+        the number of successfully replayed requests.
+        """
+        state_dir = self.config.state_dir
+        if state_dir is None:
+            return 0
+        records = read_pending(state_dir)
+        if not records:
+            return 0
+        survivors = []
+        replayed = 0
+        for raw in records:
+            if not isinstance(raw, dict):
+                continue
+            try:
+                request = normalize_request(
+                    raw, op=str(raw.get("op", "run")))
+            except ProtocolError:
+                self._count("errors")
+                continue
+            if request.op == "sweep":
+                code, _extra, _payload = await self._serve_sweep(
+                    request, raw)
+            else:
+                code, _extra, _payload = await self._serve_keyed(
+                    request, raw, wait_when_full=True)
+            if code == 200:
+                replayed += 1
+                self._count("replayed")
+            else:
+                survivors.append(raw)
+        payload = b"".join(
+            (json.dumps(raw, sort_keys=True, separators=(",", ":"))
+             + "\n").encode("utf-8")
+            for raw in survivors)
+        durable_replace(payload, Path(state_dir) / PENDING_NAME,
+                        site="serve.pending")
+        return replayed
+
     async def run(self, install_signals: bool = True,
                   announce=None) -> Dict[str, object]:
         """Serve until SIGTERM/SIGINT, then drain; returns final stats."""
+        await self.replay_pending()
         await self.start()
         if announce is not None:
             announce(self.host, self.port)
@@ -458,6 +520,11 @@ class PhotonServer:
                          "queue_depth": self.queue.depth})
             if flight is not None:
                 self.bus.emit(SERVE_DEDUP, key, flight.waiters + 1)
+            if "op" not in raw:
+                # the op normally lives in the URL path, not the body;
+                # stamp it so a drain-journaled record replays as the
+                # same operation after a restart (see replay_pending)
+                raw = dict(raw, op=request.op)
             try:
                 result, shared = await self.flights.run(
                     key, lambda: self._execute(key, work, raw, cacheable))

@@ -120,6 +120,53 @@ class MemoryHierarchy:
         """Vector memory transaction through the CU's L1V."""
         return self.l1v[cu].access(line, now)
 
+    def vector_access_many(self, cu: int, lines, now: float) -> float:
+        """All of one instruction's vector transactions through the CU's
+        L1V; returns the latest completion (the warp's retire time).
+
+        The batched hierarchy lookup for one vector-mem group: the L1V
+        hit path is inlined with the cache's port/set state hoisted to
+        locals, so the common all-hit gather pays one attribute-load
+        prologue per *group* instead of a method call per *line*.
+        Accesses are issued in line order at ``now`` with port-queue
+        and LRU updates identical to :meth:`Cache.access`, so
+        completion times and hit/miss counters are bit-for-bit those
+        of the scalar engine's per-line loop; misses (the rare path)
+        still route through the shared next-level ``access`` chain.
+        """
+        cache = self.l1v[cu]
+        busy = cache._busy
+        service = cache.service
+        latency = cache.latency
+        sets = cache._sets
+        n_sets = cache.n_sets
+        assoc = cache.assoc
+        next_access = cache.next_level.access
+        hits = 0
+        misses = 0
+        out = now
+        for line in lines:
+            start = busy if busy > now else now
+            busy = start + service
+            ways = sets[line % n_sets]
+            if line in ways:
+                hits += 1
+                ways.remove(line)
+                ways.append(line)
+                done = start + latency
+            else:
+                misses += 1
+                done = next_access(line, start + latency)
+                ways.append(line)
+                if len(ways) > assoc:
+                    ways.pop(0)
+            if done > out:
+                out = done
+        cache._busy = busy
+        cache.hits += hits
+        cache.misses += misses
+        return out
+
     def scalar_access(self, cu: int, line: int, now: float) -> float:
         """Scalar memory transaction through the CU group's L1K."""
         return self.l1k[self._group_of[cu]].access(line, now)

@@ -294,12 +294,19 @@ class DetailedEngine:
         duration of the run (the :class:`EngineListener` shim) and
         detached afterwards, even on error.
         """
+        from .batch import maybe_run_batched
+
         bus = self.bus
         shims = self._shim_subscriptions()
         for etype, fn in shims:
             bus.subscribe(etype, fn)
         try:
             with bus.metrics.span("timing"):
+                # TimePack (batched SoA core) by default; None when
+                # batching is disabled — then the scalar loop runs here
+                result = maybe_run_batched(self)
+                if result is not None:
+                    return result
                 return self._run()
         finally:
             for etype, fn in shims:

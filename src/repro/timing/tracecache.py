@@ -73,6 +73,7 @@ class TraceCache:
                  batch_chunk: int = DEFAULT_CHUNK):
         self._traces: Dict[Tuple, WarpTrace] = {}
         self._executors: Dict[Tuple, FunctionalExecutor] = {}
+        self._packs: Dict[Tuple, WarpPackExecutor] = {}
         self.max_traces = max_traces
         self.backing_store = backing_store
         self.batch_chunk = max(1, int(batch_chunk))
@@ -132,7 +133,14 @@ class TraceCache:
         hit_channel = bus.channel(TRACESTORE_HIT)
         miss_channel = bus.channel(TRACESTORE_MISS)
 
-        pack = WarpPackExecutor(kernel, executor=executor)
+        # one pack per kernel key: fills share the executor's state and
+        # the kernel's path memo, so a chunk whose path groups were
+        # discovered by an earlier fill (or a CONTROL fast-forward —
+        # see Kernel.path_memo) starts pre-partitioned
+        pack = self._packs.get(kernel_key)
+        if pack is None:
+            pack = WarpPackExecutor(kernel, executor=executor)
+            self._packs[kernel_key] = pack
         chunk = self.batch_chunk
         n_warps = kernel.n_warps
         filled: set = set()      # warps a fill already attempted

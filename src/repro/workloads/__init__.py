@@ -7,9 +7,12 @@ with every single-kernel workload factory; multi-kernel applications
 
 from .aes import build_aes
 from .base import REGISTRY, WARP_SIZE
+from .blackscholes import build_blackscholes
 from .dnn import build_resnet, build_vgg
 from .fir import build_fir
+from .kmeans import build_kmeans
 from .mm import build_mm
+from .nbody import build_nbody
 from .pagerank import build_pagerank
 from .relu import build_relu
 from .sc import build_sc
@@ -19,8 +22,11 @@ __all__ = [
     "REGISTRY",
     "WARP_SIZE",
     "build_aes",
+    "build_blackscholes",
     "build_fir",
+    "build_kmeans",
     "build_mm",
+    "build_nbody",
     "build_pagerank",
     "build_relu",
     "build_resnet",

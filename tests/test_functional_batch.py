@@ -110,6 +110,79 @@ def test_fill_full_reports_group_sizes():
     assert fill.fallback == []
 
 
+# -- CONTROL-result sharing (Kernel.path_memo) -------------------------------
+
+
+def test_control_pass_memoizes_path_groups():
+    """A CONTROL lockstep pass records each warp's path-group token so a
+    later ``fill_full`` starts pre-partitioned instead of re-deriving
+    the grouping."""
+    kernel = make_split_kernel(n_warps=8, threshold=2)
+    pack = WarpPackExecutor(kernel)
+    assert kernel.path_memo == {}
+    pack.run_warps_control(range(8))
+    assert set(kernel.path_memo) == set(range(8))
+    # two path groups -> exactly two distinct tokens, partitioned at
+    # the divergence threshold
+    tokens = {w: kernel.path_memo[w] for w in range(8)}
+    assert len(set(tokens.values())) == 2
+    assert tokens[0] is tokens[1]
+    assert tokens[2] is tokens[7]
+    assert tokens[0] is not tokens[2]
+
+
+def test_fill_full_reuses_memoized_partition():
+    kernel = make_split_kernel(n_warps=8, threshold=2)
+    with scoped_bus() as bus:
+        pack = WarpPackExecutor(kernel)
+        pack.run_warps_control(range(8))
+        fill = pack.fill_full(range(8))
+        reused = bus.metrics.counter("exec.batch.ctrl_reused").value
+    assert reused == 8
+    assert sorted(fill.group_sizes) == [2, 6]
+    assert fill.fallback == []
+
+
+def test_stale_path_memo_self_heals():
+    """A wrong memo entry is only a hint: the merged FULL runner splits
+    on the actual branch outcome, so traces stay bitwise correct."""
+    kernel = make_split_kernel(n_warps=8, threshold=2)
+    pack = WarpPackExecutor(kernel)
+    pack.run_warps_control(range(8))
+    # lie: pretend every warp shares warp 0's path group
+    token = kernel.path_memo[0]
+    for w in range(8):
+        kernel.path_memo[w] = token
+    fill = pack.fill_full(range(8))
+    assert fill.fallback == []
+    expect = FunctionalExecutor(make_split_kernel(n_warps=8, threshold=2))
+    for w in range(8):
+        assert fill.traces[w] == expect.run_warp_full(w), f"warp {w}"
+
+
+def test_full_pass_also_memoizes():
+    kernel = make_split_kernel(n_warps=8, threshold=2)
+    pack = WarpPackExecutor(kernel)
+    pack.fill_full(range(8))
+    assert set(kernel.path_memo) == set(range(8))
+    assert len(set(kernel.path_memo.values())) == 2
+
+
+def test_same_path_traces_share_column_objects():
+    """Warps of one path group share their static-column list objects —
+    the timing engine's per-trace pool cache is keyed on ``id()`` of
+    those lists, so sharing keeps the pool hit rate at one build per
+    group instead of one per warp."""
+    kernel = make_split_kernel(n_warps=8, threshold=2)
+    traces = WarpPackExecutor(kernel).run_warps_full(range(8))
+    assert traces[2].opclass is traces[7].opclass
+    assert traces[2].dep is traces[7].dep
+    assert traces[0].opclass is traces[1].opclass
+    assert traces[0].opclass is not traces[2].opclass
+    # per-warp rows stay private
+    assert traces[2].mem_lines is not traces[7].mem_lines
+
+
 # -- fallback ladder ---------------------------------------------------------
 
 

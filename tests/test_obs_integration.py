@@ -283,9 +283,9 @@ def test_metrics_phase_names_are_pinned(tiny_gpu, tmp_path):
             DetailedEngine(make_vecadd(n_warps=4), tiny_gpu).run()
         cache.flush()
         phases = bus.metrics.phases()
-    assert {"functional", "timing", "trace_io"} <= set(phases)
+    assert {"functional", "timing", "timing.batch", "trace_io"} <= set(phases)
     assert phases["functional"] > 0.0
-    assert phases["timing"] > 0.0
+    assert phases["timing.batch"] > 0.0
     assert phases["trace_io"] > 0.0
 
 
@@ -293,4 +293,49 @@ def test_exec_driven_run_has_no_trace_io_phase(tiny_gpu):
     with scoped_bus() as bus:
         DetailedEngine(make_vecadd(n_warps=4), tiny_gpu).run()
         phases = bus.metrics.phases()
+    # TimePack nests its own phase inside ``timing`` (exclusive spans),
+    # so a batched exec-driven run shows exactly these three
+    assert set(phases) == {"functional", "timing", "timing.batch"}
+
+
+def test_timing_batch_metrics_vocabulary(tiny_gpu):
+    """Pinned TimePack vocabulary: the ``timing.batch`` span and the
+    ``engine.batch.*`` counters are what sweeps/dashboards grep for."""
+    with scoped_bus() as bus:
+        DetailedEngine(make_vecadd(n_warps=4), tiny_gpu).run()
+        counters = bus.metrics.snapshot()["counters"]
+        phases = bus.metrics.phases()
+    assert "timing.batch" in phases
+    assert counters["engine.batch.runs"] == 1
+    assert "engine.batch.rounds" in counters
+    assert (counters.get("engine.batch.batched_insts", 0)
+            + counters.get("engine.batch.scalar_insts", 0)) > 0
+
+
+def test_timing_fallback_metrics_vocabulary(tiny_gpu):
+    """An incompatible engine runs scalar under the pinned
+    ``timing.scalar_fallback`` span with a reason counter."""
+    from repro.reliability.watchdog import WatchdogConfig
+
+    with scoped_bus() as bus:
+        engine = DetailedEngine(make_vecadd(n_warps=4), tiny_gpu,
+                                watchdog=WatchdogConfig(max_events=10**9))
+        engine.run()
+        counters = bus.metrics.snapshot()["counters"]
+        phases = bus.metrics.phases()
+    assert "timing.scalar_fallback" in phases
+    assert "timing.batch" not in phases
+    assert counters["engine.batch.fallback_runs"] == 1
+    assert counters["engine.batch.fallback.watchdog"] == 1
+
+
+def test_disabled_timing_batching_runs_under_plain_timing_span(tiny_gpu):
+    from repro.timing import scoped_timing_batching
+
+    with scoped_bus() as bus:
+        with scoped_timing_batching(False):
+            DetailedEngine(make_vecadd(n_warps=4), tiny_gpu).run()
+        phases = bus.metrics.phases()
+        counters = bus.metrics.snapshot()["counters"]
     assert set(phases) == {"functional", "timing"}
+    assert "engine.batch.runs" not in counters

@@ -442,3 +442,88 @@ async def test_streaming_failure_emits_error_line_not_http_head(server,
     assert events[-1]["event"] == "error"
     assert "kaboom" in events[-1]["error"]
     assert all(e["event"] != "done" for e in events)
+
+
+# -- restart replay (pending.jsonl) ----------------------------------------
+
+def _write_pending(tmp_path, records):
+    import json
+
+    path = tmp_path / "pending.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+def test_replay_pending_serves_journaled_work_and_truncates(tmp_path):
+    """On startup the server replays drained pending.jsonl through the
+    normal admission path — valid records execute and land in the
+    result cache, malformed ones are dropped — then truncates the
+    journal durably."""
+    _write_pending(tmp_path, [
+        {"op": "run", "workload": "relu", "size": 128, "method": "photon"},
+        {"op": "ping", "delay_ms": 0, "key": "p1"},
+        {"op": "run", "workload": "no_such_workload"},  # dropped
+    ])
+
+    async def body():
+        server = PhotonServer(ServeConfig(
+            port=0, jobs=0, queue_limit=8, state_dir=str(tmp_path)))
+        replayed = await server.replay_pending()
+        assert replayed == 2
+        assert server.counts["replayed"] == 2
+        assert server.counts["errors"] == 1
+        # the run's result is warm: a fresh identical request is a hit
+        host, port = await server.start()
+        client = ServeClient(host, port, timeout=30)
+        result = await call(client.run, "relu", 128, "photon")
+        assert result["cache"] == "hit"
+        # idempotent: the journal was truncated, nothing replays twice
+        assert await server.replay_pending() == 0
+        await server.drain_and_stop()
+
+    asyncio.run(body())
+    assert read_pending(tmp_path) == []
+    assert (tmp_path / "pending.jsonl").read_bytes() == b""
+
+
+def test_replay_pending_without_state_dir_is_a_noop():
+    async def body():
+        server = PhotonServer(ServeConfig(port=0, jobs=0))
+        assert await server.replay_pending() == 0
+
+    asyncio.run(body())
+
+
+def test_drained_ping_replays_as_ping_after_restart(tmp_path):
+    """End-to-end drain -> restart: the journaled body carries its op
+    (stamped at journal time, since the op normally lives in the URL),
+    so a shed /v1/ping replays as a ping, not a malformed run."""
+    async def body():
+        server = PhotonServer(ServeConfig(
+            port=0, jobs=0, queue_limit=4, max_inflight=1,
+            state_dir=str(tmp_path), drain_grace=10.0))
+        host, port = await server.start()
+        client = ServeClient(host, port, timeout=30)
+        inflight = call(client.ping, delay_ms=400, key="inflight")
+        await asyncio.sleep(0.1)
+        queued = call(client.post, "/v1/ping",
+                      {"delay_ms": 0, "key": "queued"})
+        await asyncio.sleep(0.1)
+        server.begin_drain()
+        await inflight
+        status, _headers, payload = await queued
+        assert status == 503 and payload["journaled"] is True
+        await server.drain_and_stop()
+
+    asyncio.run(body())
+    pending = read_pending(tmp_path)
+    assert len(pending) == 1
+    assert pending[0]["op"] == "ping"
+
+    async def restart():
+        server = PhotonServer(ServeConfig(
+            port=0, jobs=0, queue_limit=4, state_dir=str(tmp_path)))
+        assert await server.replay_pending() == 1
+        assert server.counts["errors"] == 0
+
+    asyncio.run(restart())
+    assert read_pending(tmp_path) == []

@@ -1,0 +1,362 @@
+"""Differential property suite for TimePack (the batched timing core).
+
+Batched timing is purely a performance optimisation: the SoA lockstep
+engine in ``timing/batch.py`` must be *bitwise* indistinguishable from
+the scalar event loop.  Hypothesis generates random programs across the
+shapes that exercise every engine mechanism — warp-divergent branches,
+workgroup barriers, LDS round trips under partial exec masks, counted
+loops, and global-memory traffic — and each example runs the same
+launch twice (batched on / off, each on its own :class:`EventBus`) and
+compares:
+
+* end-to-end simulated cycles and per-warp dispatch/retire times;
+* the **full materialised event sequence** across every engine channel
+  (kind, per-bus sequence number, and all fields);
+* ``request_stop`` snapshots — stop time, resident-warp retire times,
+  undispatched warps, and CU slot-release times;
+* optional accounting surfaces (``ipc_series``, ``latency_table``,
+  ``mem_stats``).
+
+The quick lanes run in the fast CI job; the ``slow``-marked lanes rerun
+the same properties at 200 examples in the nightly job.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import R9_NANO
+from repro.functional import GlobalMemory, Kernel
+from repro.isa import KernelBuilder, MemAddr, s, v
+from repro.obs import ENGINE_BB, EventBus, MemorySink
+from repro.reliability.watchdog import WatchdogConfig
+from repro.timing import (
+    DetailedEngine,
+    EngineListener,
+    scoped_timing_batching,
+    set_timing_batching,
+    timing_batching_enabled,
+    timing_pack_compatible,
+)
+
+GPU = R9_NANO.scaled(4)
+
+_VOPS = ("v_add", "v_sub", "v_mul", "v_max", "v_min", "v_xor")
+_SOPS = ("s_add", "s_sub", "s_mul", "s_min", "s_max")
+
+
+@st.composite
+def timing_kernel_factories(draw):
+    """A zero-arg factory building a random timing-shaped kernel.
+
+    Compared to the functional property generator this one leans on the
+    mechanisms the *engine* cares about: barriers (workgroup
+    synchronisation), waitcnt joins, LDS latency, divergent path groups
+    of different lengths, and enough warps to cause CU contention.
+    """
+    n_warps = draw(st.integers(1, 16))
+    wg_size = draw(st.sampled_from([1, 2, 4]))
+    n_loops = draw(st.integers(0, 2))
+
+    b = KernelBuilder("timing_random")
+    b.v_lane(v(0))
+    b.s_mul(s(3), s(0), 64)
+    b.v_add(v(0), v(0), s(3))
+    b.v_mov(v(1), 0.0)
+    b.s_mov(s(5), 1)
+
+    def emit_ops(ops):
+        for name, operand in ops:
+            if name.startswith("v_"):
+                getattr(b, name)(v(1), v(1), float(operand))
+            else:
+                getattr(b, name)(s(5), s(5), operand)
+
+    emit_ops(draw(st.lists(
+        st.tuples(st.sampled_from(_VOPS + _SOPS), st.integers(1, 7)),
+        min_size=1, max_size=6)))
+
+    # barrier on the common path: every warp of a workgroup must arrive
+    if draw(st.booleans()):
+        b.s_barrier()
+
+    # warp-divergent scalar branch (s0 = warp id) -> path groups of
+    # different dynamic lengths, which is what desynchronises the
+    # lockstep rounds and forces partial-retire handling
+    if draw(st.booleans()):
+        threshold = draw(st.integers(0, 15))
+        extra = draw(st.lists(
+            st.tuples(st.sampled_from(_VOPS + _SOPS), st.integers(1, 7)),
+            min_size=1, max_size=5))
+        b.s_cmp_lt(s(0), threshold)
+        b.s_cbranch_scc0("skip_warp_div")
+        emit_ops(extra)
+        if draw(st.booleans()):
+            b.v_load(v(2), MemAddr(base=s(4), index=v(0)))
+            b.s_waitcnt()
+        b.label("skip_warp_div")
+        # optional barrier after reconvergence: warps arrive at
+        # different times, so barrier release ordering is exercised
+        if wg_size > 1 and draw(st.booleans()):
+            b.s_barrier()
+
+    # lane divergence with an LDS round trip under a partial exec mask
+    if draw(st.booleans()):
+        b.v_lane(v(3))
+        b.v_cmp_lt(v(3), float(draw(st.integers(1, 63))))
+        b.s_exec_from_vcc()
+        emit_ops(draw(st.lists(
+            st.tuples(st.sampled_from(_VOPS), st.integers(1, 7)),
+            min_size=1, max_size=3)))
+        if draw(st.booleans()):
+            b.ds_write(v(3), v(1))
+            b.s_waitcnt()
+            b.ds_read(v(2), v(3))
+            b.s_waitcnt()
+        b.s_exec_all()
+        b.v_cndmask(v(1), v(1), v(2))
+
+    for loop_idx in range(n_loops):
+        trips = draw(st.integers(1, 4))
+        counter = s(8 + loop_idx)
+        b.s_mov(counter, 0)
+        b.label(f"loop{loop_idx}")
+        emit_ops(draw(st.lists(
+            st.tuples(st.sampled_from(_VOPS + _SOPS), st.integers(1, 7)),
+            min_size=1, max_size=4)))
+        if draw(st.booleans()):
+            b.v_load(v(2), MemAddr(base=s(4), index=v(0)))
+            b.s_waitcnt()
+        b.s_add(counter, counter, 1)
+        b.s_cmp_lt(counter, trips)
+        b.s_cbranch_scc1(f"loop{loop_idx}")
+
+    if draw(st.booleans()):
+        b.v_store(v(1), MemAddr(base=s(4), index=v(0)))
+    b.s_endpgm()
+    program = b.build()
+
+    def factory():
+        mem = GlobalMemory(capacity_words=n_warps * 64 + 256)
+        buf = mem.alloc("buf", np.ones(n_warps * 64))
+        return Kernel(program=program, n_warps=n_warps, wg_size=wg_size,
+                      memory=mem, args=lambda w: {4: buf},
+                      name="timing_random")
+
+    return factory
+
+
+# -- the differential harness ------------------------------------------------
+
+
+def _run_once(factory, batched, stop_after_bbs=None, **engine_kwargs):
+    """One engine run on a private bus; returns (result, event dicts)."""
+    kernel = factory()
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink())
+    engine = DetailedEngine(kernel, GPU, bus=bus, **engine_kwargs)
+    if stop_after_bbs is not None:
+        seen = [0]
+
+        def on_bb(warp, pc, t0, t1):
+            seen[0] += 1
+            if seen[0] == stop_after_bbs:
+                engine.request_stop()
+
+        bus.subscribe(ENGINE_BB, on_bb)
+    with scoped_timing_batching(batched):
+        result = engine.run()
+    return result, [e.to_dict() for e in sink.events]
+
+
+def _assert_results_identical(ref, got):
+    assert got.end_time == ref.end_time
+    assert got.n_insts == ref.n_insts
+    assert got.warp_times == ref.warp_times
+    assert got.stopped == ref.stopped
+    assert got.stop_time == ref.stop_time
+    assert got.undispatched == ref.undispatched
+    assert got.cu_slot_free == ref.cu_slot_free
+    assert got.mem_stats == ref.mem_stats
+    assert got.ipc_series == ref.ipc_series
+    assert got.latency_table == ref.latency_table
+
+
+def _differential(factory, stop_after_bbs=None, **engine_kwargs):
+    ref, ref_events = _run_once(factory, batched=False,
+                                stop_after_bbs=stop_after_bbs,
+                                **engine_kwargs)
+    got, got_events = _run_once(factory, batched=True,
+                                stop_after_bbs=stop_after_bbs,
+                                **engine_kwargs)
+    _assert_results_identical(ref, got)
+    assert got_events == ref_events
+
+
+@settings(max_examples=40, deadline=None)
+@given(timing_kernel_factories())
+def test_timing_batched_equivalence_quick(factory):
+    """Fast-lane slice: batched vs scalar, full event-sequence compare."""
+    _differential(factory)
+
+
+@pytest.mark.slow
+@settings(max_examples=200, deadline=None)
+@given(timing_kernel_factories())
+def test_timing_batched_equivalence_full(factory):
+    """Full 200-example batched-vs-scalar run (nightly lane)."""
+    _differential(factory)
+
+
+@settings(max_examples=20, deadline=None)
+@given(timing_kernel_factories(), st.integers(1, 30))
+def test_timing_batched_stop_snapshot_quick(factory, stop_after):
+    """``request_stop`` mid-run from an event callback: the snapshot
+    (stop time, resident retires, undispatched, slot frees) is bitwise
+    identical between the batched and scalar engines."""
+    _differential(factory, stop_after_bbs=stop_after)
+
+
+@pytest.mark.slow
+@settings(max_examples=200, deadline=None)
+@given(timing_kernel_factories(), st.integers(1, 60))
+def test_timing_batched_stop_snapshot_full(factory, stop_after):
+    _differential(factory, stop_after_bbs=stop_after)
+
+
+@settings(max_examples=10, deadline=None)
+@given(timing_kernel_factories())
+def test_timing_batched_accounting_surfaces(factory):
+    """ipc_series buckets and the opcode latency table match exactly."""
+    _differential(factory, ipc_bucket=25.0, collect_latency=True)
+
+
+# -- attach-order regression pin --------------------------------------------
+
+
+class _Recorder(EngineListener):
+    """Records every callback into a shared journal, tagged by name."""
+
+    def __init__(self, tag, journal):
+        self.tag = tag
+        self.journal = journal
+
+    def on_warp_dispatched(self, warp_id, t):
+        self.journal.append((self.tag, "dispatch", warp_id, t))
+
+    def on_bb_complete(self, warp_id, pc, t0, t1):
+        self.journal.append((self.tag, "bb", warp_id, pc, t0, t1))
+
+    def on_warp_retired(self, warp_id, dispatch, retire):
+        self.journal.append((self.tag, "retire", warp_id, dispatch, retire))
+
+
+def _listener_journal(batched):
+    kernel_factory = _attach_order_kernel()
+    journal = []
+    engine = DetailedEngine(kernel_factory(), GPU, bus=EventBus())
+    # attach order is part of the observable contract: listener "a"
+    # must see every event before listener "b" does
+    engine.attach(_Recorder("a", journal))
+    engine.attach(_Recorder("b", journal))
+    with scoped_timing_batching(batched):
+        engine.run()
+    return journal
+
+
+def _attach_order_kernel():
+    b = KernelBuilder("attach_order")
+    b.v_lane(v(0))
+    b.s_mul(s(3), s(0), 64)
+    b.v_add(v(0), v(0), s(3))
+    b.v_mov(v(1), 2.0)
+    b.s_cmp_lt(s(0), 3)
+    b.s_cbranch_scc0("skip")
+    b.v_mul(v(1), v(1), 3.0)
+    b.label("skip")
+    b.s_barrier()
+    b.v_add(v(1), v(1), 1.0)
+    b.s_endpgm()
+    program = b.build()
+
+    def factory():
+        mem = GlobalMemory(capacity_words=1024)
+        return Kernel(program=program, n_warps=6, wg_size=2, memory=mem,
+                      args=lambda w: {}, name="attach_order")
+
+    return factory
+
+
+def test_attach_order_pinned_across_engines():
+    """Two listeners attached a-then-b observe the identical interleaved
+    callback journal whether the run is batched or scalar."""
+    scalar = _listener_journal(batched=False)
+    batched = _listener_journal(batched=True)
+    assert scalar, "journal must not be empty"
+    assert batched == scalar
+    # and within any single event, "a" fires before "b"
+    for i in range(0, len(batched) - 1, 1):
+        tag, *rest = batched[i]
+        if tag == "a" and i + 1 < len(batched):
+            nxt_tag, *nxt_rest = batched[i + 1]
+            if nxt_rest == rest:
+                assert nxt_tag == "b"
+
+
+# -- pack-compatibility ladder and flag plumbing -----------------------------
+
+
+def test_ladder_accepts_default_engine():
+    engine = DetailedEngine(_attach_order_kernel()(), GPU, bus=EventBus())
+    ok, reason = timing_pack_compatible(engine)
+    assert ok and reason == ""
+
+
+def test_ladder_rejects_watchdog():
+    engine = DetailedEngine(_attach_order_kernel()(), GPU, bus=EventBus(),
+                            watchdog=WatchdogConfig(max_events=10**9))
+    ok, reason = timing_pack_compatible(engine)
+    assert not ok and reason == "watchdog"
+
+
+def test_ladder_rejects_fractional_start_time():
+    engine = DetailedEngine(_attach_order_kernel()(), GPU, bus=EventBus(),
+                            start_time=0.5)
+    ok, reason = timing_pack_compatible(engine)
+    assert not ok and reason == "fractional_start_time"
+
+
+def test_ladder_rejects_fractional_latency():
+    config = dataclasses.replace(GPU, vector_alu_lat=1.5)
+    engine = DetailedEngine(_attach_order_kernel()(), config,
+                            bus=EventBus())
+    ok, reason = timing_pack_compatible(engine)
+    assert not ok and reason == "fractional_latency"
+
+
+def test_fallback_run_is_still_bitwise_identical():
+    """An incompatible engine (fractional start) falls back to the
+    scalar loop under batching — results match batching-off exactly."""
+    factory = _attach_order_kernel()
+    _differential(factory, start_time=0.5)
+
+
+def test_scoped_timing_batching_restores_flag():
+    assert timing_batching_enabled()
+    with scoped_timing_batching(False):
+        assert not timing_batching_enabled()
+        with scoped_timing_batching(True):
+            assert timing_batching_enabled()
+        assert not timing_batching_enabled()
+    assert timing_batching_enabled()
+
+
+def test_set_timing_batching_round_trip():
+    try:
+        set_timing_batching(False)
+        assert not timing_batching_enabled()
+    finally:
+        set_timing_batching(True)
+    assert timing_batching_enabled()

@@ -8,8 +8,11 @@ from repro.functional import FunctionalExecutor
 from repro.workloads import (
     REGISTRY,
     build_aes,
+    build_blackscholes,
     build_fir,
+    build_kmeans,
     build_mm,
+    build_nbody,
     build_pagerank,
     build_relu,
     build_sc,
@@ -17,13 +20,15 @@ from repro.workloads import (
 )
 
 
-@pytest.mark.parametrize("name", ["relu", "fir", "sc", "mm", "aes", "spmv"])
+@pytest.mark.parametrize("name", ["relu", "fir", "sc", "mm", "aes", "spmv",
+                                  "nbody", "kmeans", "blackscholes"])
 def test_registry_contains_table2_kernels(name):
     assert name in REGISTRY
 
 
 @pytest.mark.parametrize("name", sorted(["relu", "fir", "sc", "mm", "aes",
-                                         "spmv"]))
+                                         "spmv", "nbody", "kmeans",
+                                         "blackscholes"]))
 def test_every_workload_builds_and_executes(name):
     kernel = REGISTRY[name](64)
     ex = FunctionalExecutor(kernel)
@@ -37,7 +42,8 @@ def test_every_workload_builds_and_executes(name):
 
 
 @pytest.mark.parametrize("factory", [build_relu, build_fir, build_sc,
-                                     build_aes, build_spmv])
+                                     build_aes, build_spmv, build_nbody,
+                                     build_kmeans, build_blackscholes])
 def test_invalid_problem_size_rejected(factory):
     with pytest.raises(WorkloadError):
         factory(0)
@@ -139,6 +145,102 @@ def test_spmv_writeback_block_is_rare():
     # the writeback block runs exactly once per warp
     wb_counts = [c for pc, c in counts.items() if pc >= writeback_pc]
     assert 1 in wb_counts
+
+
+def test_nbody_matches_numpy_model():
+    """Every warp's accumulated force equals the closed-form numpy sum
+    over the ``n_tiles``-tile interaction window."""
+    kernel = build_nbody(8, n_tiles=4)
+    x = kernel.memory.view("nbody_x").copy()
+    ex = FunctionalExecutor(kernel)
+    for w in range(kernel.n_warps):
+        ex.run_warp_full(w)
+    got = kernel.memory.view("nbody_out")
+    window = x[: 4 * 64]
+    # accumulate in kernel order (one staged body at a time) so the
+    # float rounding matches the v_mac chain bit for bit
+    want = np.zeros_like(x)
+    for x_j in window:
+        dx = x_j - x
+        want += dx * np.maximum(dx * dx + 0.5, 1.0)
+    np.testing.assert_array_equal(got, want)
+
+
+def test_nbody_rejects_bad_tile_count():
+    with pytest.raises(WorkloadError):
+        build_nbody(4, n_tiles=8)  # more tiles than warps
+
+
+def test_kmeans_matches_numpy_model():
+    """Each point's output is the min squared distance to any centroid."""
+    kernel = build_kmeans(4)
+    px = kernel.memory.view("kmeans_px").copy()
+    py = kernel.memory.view("kmeans_py").copy()
+    cx = kernel.memory.view("kmeans_cx")[:32].copy()
+    cy = kernel.memory.view("kmeans_cy")[:32].copy()
+    ex = FunctionalExecutor(kernel)
+    for w in range(kernel.n_warps):
+        ex.run_warp_full(w)
+    got = kernel.memory.view("kmeans_out")
+    dx = cx[None, :] - px[:, None]
+    dy = cy[None, :] - py[:, None]
+    want = (dx * dx + dy * dy).min(axis=1)
+    np.testing.assert_array_equal(got, want)
+
+
+def test_kmeans_rejects_bad_cluster_count():
+    with pytest.raises(WorkloadError):
+        build_kmeans(4, n_clusters=0)
+    with pytest.raises(WorkloadError):
+        build_kmeans(4, n_clusters=65)
+
+
+def test_blackscholes_matches_numpy_model():
+    """The kernel's fixed-point loop matches float64 numpy bitwise."""
+    from repro.workloads.blackscholes import (
+        A0, A1, A2, A3, LEARN_RATE, SIGMA0, SIGMA_MIN, SIGMA_MAX,
+        TARGET_RATIO)
+
+    n_iters = 16
+    kernel = build_blackscholes(8, n_iters=n_iters)
+    spot = kernel.memory.view("bs_spot").copy()
+    strike = kernel.memory.view("bs_strike").copy()
+    ex = FunctionalExecutor(kernel)
+    for w in range(kernel.n_warps):
+        ex.run_warp_full(w)
+    got = kernel.memory.view("bs_out")
+    money = spot - strike
+    target = spot * TARGET_RATIO
+    sigma = np.full_like(spot, SIGMA0)
+    for _ in range(n_iters):
+        price = np.full_like(spot, A3)
+        price = price * sigma + A2
+        price = price * sigma + A1
+        price = price * sigma + A0
+        resid = price * money - target
+        sigma = sigma + resid * (-LEARN_RATE)
+        sigma = np.maximum(sigma, SIGMA_MIN)
+        sigma = np.minimum(sigma, SIGMA_MAX)
+    np.testing.assert_array_equal(got, sigma)
+
+
+def test_blackscholes_rejects_bad_iteration_count():
+    with pytest.raises(WorkloadError):
+        build_blackscholes(4, n_iters=0)
+
+
+def test_blackscholes_is_pure_alu_after_setup():
+    """Beyond the 2 input loads and 1 store the kernel is ALU-only —
+    the property that keeps warps phase-aligned without barriers."""
+    from repro.isa.opcodes import Opcode
+
+    program = build_blackscholes(4).program
+    mem_ops = [inst.opcode for inst in program.instructions
+               if inst.opcode in (Opcode.V_LOAD, Opcode.V_STORE,
+                                  Opcode.S_LOAD)]
+    assert mem_ops == [Opcode.V_LOAD, Opcode.V_LOAD, Opcode.V_STORE]
+    assert not any(inst.opcode is Opcode.S_BARRIER
+                   for inst in program.instructions)
 
 
 def test_pagerank_app_structure():
