@@ -72,6 +72,7 @@ from .events import (
     SERVE_DEDUP,
     SERVE_QUEUE,
     SERVE_REQUEST,
+    SWEEP_FLEET,
     SWEEP_JOURNAL,
     SWEEP_RESUME,
     TRACESTORE_EVICT,
@@ -124,6 +125,7 @@ __all__ = [
     "SERVE_DEDUP",
     "SERVE_QUEUE",
     "SERVE_REQUEST",
+    "SWEEP_FLEET",
     "SWEEP_JOURNAL",
     "SWEEP_RESUME",
     "Sink",

@@ -187,6 +187,16 @@ SWEEP_RESUME = EventType(
     "straight from the journal, `rerun` missing/failed tasks were "
     "re-planned, `quarantined` torn tail lines were set aside.")
 
+# -- multi-host fleets (FleetSweep) ----------------------------------------
+
+SWEEP_FLEET = EventType(
+    "sweep.fleet", ("host", "action", "index", "detail"),
+    "Fleet lease-protocol transition on one host: 'claim' (fresh "
+    "lease, detail = generation), 'steal' (claimed over an expired "
+    "lease), 'done'/'failed' (task executed and journaled), or "
+    "'merge' (coordinator folded all hosts; index -1, detail = host "
+    "count).")
+
 #: every event type, by name
 ALL_TYPES: Dict[str, EventType] = {
     t.name: t
@@ -198,7 +208,7 @@ ALL_TYPES: Dict[str, EventType] = {
         TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
         RELIABILITY_RETRY, PARALLEL_TASK, SWEEP_JOURNAL, SWEEP_RESUME,
-        SERVE_REQUEST, SERVE_DEDUP, SERVE_QUEUE,
+        SWEEP_FLEET, SERVE_REQUEST, SERVE_DEDUP, SERVE_QUEUE,
     )
 }
 
@@ -218,6 +228,6 @@ CORE_KINDS = tuple(
         TRACESTORE_WRITE, TRACESTORE_EVICT, DETECTOR_SWITCH,
         RELIABILITY_FALLBACK, RELIABILITY_FAULT, RELIABILITY_WATCHDOG,
         RELIABILITY_RETRY, PARALLEL_TASK, SWEEP_JOURNAL, SWEEP_RESUME,
-        SERVE_REQUEST, SERVE_DEDUP, SERVE_QUEUE,
+        SWEEP_FLEET, SERVE_REQUEST, SERVE_DEDUP, SERVE_QUEUE,
     )
 )

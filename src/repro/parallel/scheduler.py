@@ -264,11 +264,16 @@ def _cell_rows(full: TaskOutcome,
     return rows
 
 
-def _merge_state(outcomes: Sequence[TaskOutcome],
-                 on_conflict: str) -> Tuple[AnalysisStore,
-                                            Optional[KernelDB],
-                                            MergeStats, MergeStats]:
-    """Fold worker store/db payloads together, in task order."""
+def merge_outcome_state(outcomes: Sequence[TaskOutcome],
+                        on_conflict: str) -> Tuple[AnalysisStore,
+                                                   Optional[KernelDB],
+                                                   MergeStats, MergeStats]:
+    """Fold worker store/db payloads together, in task order.
+
+    Shared by the in-process scheduler and the fleet coordinator: the
+    fold visits outcomes sorted by task index, so the merged state is
+    independent of which worker/host produced which payload when.
+    """
     store = AnalysisStore()
     store_stats = MergeStats()
     db: Optional[KernelDB] = None
@@ -445,7 +450,8 @@ def _execute(
         queue_waits.append(wait_by_index.get(task.index, 0.0))
 
     rows = rows_from_outcomes(outcomes)
-    store, db, store_stats, db_stats = _merge_state(outcomes, on_conflict)
+    store, db, store_stats, db_stats = merge_outcome_state(
+        outcomes, on_conflict)
     trace_merge = None
     trace_roots = sorted({task.trace_store for task in tasks
                           if task.trace_store is not None})

@@ -181,6 +181,9 @@ class TaskOutcome:
     worker: int = 0
     started: float = 0.0   # time.monotonic() at worker pickup
     task_wall: float = 0.0
+    # fleet provenance ("" / False outside multi-host mode)
+    host: str = ""         # fleet host id that executed this task
+    stolen: bool = False   # True = claimed over another host's expired lease
 
     @property
     def ok(self) -> bool:
@@ -227,6 +230,8 @@ class TaskOutcome:
             "worker": self.worker,
             "started": self.started,
             "task_wall": self.task_wall,
+            "host": self.host,
+            "stolen": self.stolen,
         }
 
     @classmethod
@@ -235,7 +240,8 @@ class TaskOutcome:
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
-def run_task(task: SweepTask) -> TaskOutcome:
+def run_task(task: SweepTask,
+             stage_dir: Optional[str] = None) -> TaskOutcome:
     """Execute one sweep shard; never raises for in-sweep failures.
 
     Workload-construction errors come back as ``stage="build"``
@@ -245,6 +251,11 @@ def run_task(task: SweepTask) -> TaskOutcome:
     method name* does raise (:class:`~repro.errors.WorkloadError`): a
     typo is a caller bug, not a sweep casualty, mirroring the serial
     harness contract.
+
+    ``stage_dir`` overrides where trace-store writes are staged: the
+    default is the store's own ``staging/task-<index>`` (single-host
+    sweeps); fleet workers pass ``<fleet>/staging/<host>/task-<index>``
+    so hosts never write into each other's staging directories.
     """
     if task.method != FULL_METHOD:
         _check_methods([task.method])
@@ -286,7 +297,10 @@ def run_task(task: SweepTask) -> TaskOutcome:
         from ..timing.tracecache import TraceCache
         from ..tracestore import TraceStore
 
-        staged = TraceStore(task.trace_store).stage(task.index)
+        if stage_dir is not None:
+            staged = TraceStore(task.trace_store, write_root=stage_dir)
+        else:
+            staged = TraceStore(task.trace_store).stage(task.index)
         cache = TraceCache(backing_store=staged)
 
     try:

@@ -58,6 +58,7 @@ _NONDETERMINISTIC_FIELDS = frozenset((
     "index", "wall_seconds", "task_wall", "started", "worker",
     "attempts", "backoff_total", "store_payload", "kerneldb_payload",
     "trace_hits", "trace_store_hits", "trace_misses", "trace_writes",
+    "host", "stolen",
 ))
 
 _KNOWN_METHODS = tuple(sorted(_BASELINES)) + tuple(sorted(LEVEL_METHODS))

@@ -394,8 +394,8 @@ class TraceStore:
         staged = self.root / _STAGING_DIR / f"task-{task_index:08d}"
         return TraceStore(self.root, write_root=staged)
 
-    def _staged_dirs(self) -> Iterator[Tuple[int, Path]]:
-        staging = self.root / _STAGING_DIR
+    @staticmethod
+    def _staged_dirs_in(staging: Path) -> Iterator[Tuple[int, Path]]:
         if not staging.is_dir():
             return
         for entry in sorted(staging.iterdir()):
@@ -407,8 +407,12 @@ class TraceStore:
                 continue
             yield index, entry
 
+    def _staged_dirs(self) -> Iterator[Tuple[int, Path]]:
+        yield from self._staged_dirs_in(self.root / _STAGING_DIR)
+
     def merge_staged(self,
-                     indices: Optional[Iterable[int]] = None
+                     indices: Optional[Iterable[int]] = None,
+                     staging_roots: Optional[Iterable[Path]] = None,
                      ) -> Dict[str, int]:
         """Fold staged worker bundles into the canonical root.
 
@@ -421,11 +425,32 @@ class TraceStore:
         server folds each task's staging directory as it completes,
         without touching directories other tasks are still writing);
         ``None`` folds everything, the sweep-scheduler behaviour.
+
+        ``staging_roots`` merges from external staging layouts instead
+        of the store's own ``staging/`` — each root holds ``task-*``
+        subdirectories (a fleet's per-host ``staging/<host>``).  Roots
+        are folded in the given order per task index, so passing hosts
+        in sorted order makes the multi-host merge deterministic; blobs
+        are byte-identical across hosts anyway (traces are pure
+        functions of the kernel), so ordering only pins *which* copy is
+        kept, never what it contains.
         """
         stats = {"tasks": 0, "bundles": 0, "warps_added": 0,
                  "quarantined": 0}
         wanted = None if indices is None else set(indices)
-        for index, task_dir in self._staged_dirs():
+        if staging_roots is None:
+            entries = [(index, 0, task_dir)
+                       for index, task_dir in self._staged_dirs()]
+            cleanup_roots = [self.root / _STAGING_DIR]
+        else:
+            cleanup_roots = [Path(root) for root in staging_roots]
+            entries = [
+                (index, position, task_dir)
+                for position, root in enumerate(cleanup_roots)
+                for index, task_dir in self._staged_dirs_in(root)
+            ]
+        entries.sort(key=lambda item: (item[0], item[1]))
+        for index, _position, task_dir in entries:
             if wanted is not None and index not in wanted:
                 continue
             stats["tasks"] += 1
@@ -456,9 +481,9 @@ class TraceStore:
                             stats["warps_added"] += added
                 self.quarantined += staged.quarantined
             shutil.rmtree(task_dir, ignore_errors=True)
-        staging = self.root / _STAGING_DIR
-        if staging.is_dir() and not any(staging.iterdir()):
-            shutil.rmtree(staging, ignore_errors=True)
+        for staging in cleanup_roots:
+            if staging.is_dir() and not any(staging.iterdir()):
+                shutil.rmtree(staging, ignore_errors=True)
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
